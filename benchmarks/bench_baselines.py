@@ -1,0 +1,81 @@
+"""Baseline comparison (the paper's Sections 1, 2 and 6.3 discussion).
+
+The paper argues that layout-based approaches — naive tag splitting,
+IEPAD-style repeated-pattern mining, RoadRunner-style union-free
+grammars — cannot handle the variability of real list pages, and that
+content-based segmentation (its contribution) can.  This benchmark
+puts all five methods on the same corpus and prints the league table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.grammar import GrammarSegmenter
+from repro.baselines.pat_tree import PatternSegmenter
+from repro.baselines.runner import run_baseline_on_site
+from repro.baselines.tag_heuristic import TagHeuristicSegmenter
+from repro.core.evaluation import PageScore
+from repro.reporting.experiment import run_corpus
+
+BASELINES = {
+    "tag-heuristic": TagHeuristicSegmenter,
+    "pat-tree": PatternSegmenter,
+    "grammar": GrammarSegmenter,
+}
+
+
+def baseline_total(corpus, factory):
+    total = PageScore()
+    for site in corpus.sites:
+        for row in run_baseline_on_site(site, factory()):
+            total = total + row.score
+    return total
+
+
+@pytest.mark.parametrize("name", sorted(BASELINES))
+def test_baseline_corpus_run(benchmark, corpus, name, capsys):
+    total = benchmark.pedantic(
+        lambda: baseline_total(corpus, BASELINES[name]),
+        iterations=1,
+        rounds=1,
+    )
+    with capsys.disabled():
+        print(
+            f"\n{name}: P={total.precision:.3f} R={total.recall:.3f} "
+            f"F={total.f_measure:.3f}"
+        )
+    benchmark.extra_info["f_measure"] = round(total.f_measure, 3)
+
+
+def test_league_table(benchmark, corpus, capsys):
+    """All five methods, one table."""
+    result = benchmark.pedantic(
+        lambda: run_corpus(corpus, methods=("prob", "csp")),
+        iterations=1,
+        rounds=1,
+    )
+    rows = [
+        (method, result.totals(method)) for method in ("prob", "csp")
+    ] + [
+        (name, baseline_total(corpus, factory))
+        for name, factory in sorted(BASELINES.items())
+    ]
+    with capsys.disabled():
+        print("\nMethod league table (309 records, 24 pages):")
+        for name, total in sorted(
+            rows, key=lambda item: item[1].f_measure, reverse=True
+        ):
+            print(
+                f"  {name:<14} P={total.precision:.3f} "
+                f"R={total.recall:.3f} F={total.f_measure:.3f}"
+            )
+    by_name = dict(rows)
+    # The paper's thesis: content-based methods beat every
+    # layout-based baseline.
+    for paper_method in ("prob", "csp"):
+        for baseline in BASELINES:
+            assert (
+                by_name[paper_method].f_measure
+                > by_name[baseline].f_measure
+            )

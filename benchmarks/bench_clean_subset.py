@@ -1,0 +1,53 @@
+"""Paper Section 6.3's clean-subset numbers.
+
+    "If we excluded from consideration those Web pages for which the
+    CSP algorithm could not find a solution, performance metrics on
+    the remaining 17 pages were P=0.99, R=0.92 and F=0.95. ...  On
+    the same 17 pages, [the probabilistic approach's] performance was
+    P=0.78, R=1.0 and F=0.88."
+
+The subset is derived the same way here: pages whose strict CSP
+problem was solved without relaxation.
+"""
+
+from __future__ import annotations
+
+from repro.reporting.experiment import run_corpus
+
+PAPER_CLEAN = {
+    "csp": {"precision": 0.99, "recall": 0.92, "f": 0.95},
+    "prob": {"precision": 0.78, "recall": 1.0, "f": 0.88},
+}
+
+
+def test_clean_subset(benchmark, corpus, capsys):
+    result = benchmark.pedantic(
+        lambda: run_corpus(corpus, methods=("prob", "csp")),
+        iterations=1,
+        rounds=1,
+    )
+    clean = result.clean_pages()
+    with capsys.disabled():
+        print()
+        print(
+            f"clean subset: {len(clean)} of "
+            f"{len(result.rows_for('csp'))} pages "
+            "(pages where the strict CSP found a solution; paper: 17 of 24)"
+        )
+        for method in ("csp", "prob"):
+            totals = result.clean_totals(method)
+            paper = PAPER_CLEAN[method]
+            print(
+                f"  {method:4s} measured P={totals.precision:.2f} "
+                f"R={totals.recall:.2f} F={totals.f_measure:.2f} | paper "
+                f"P={paper['precision']:.2f} R={paper['recall']:.2f} "
+                f"F={paper['f']:.2f}"
+            )
+
+    assert 10 <= len(clean) <= 20
+    for method in ("csp", "prob"):
+        totals = result.clean_totals(method)
+        # On clean pages both methods are at least as good as the
+        # paper's clean-subset F.
+        assert totals.f_measure >= PAPER_CLEAN[method]["f"]
+    benchmark.extra_info["clean_pages"] = len(clean)

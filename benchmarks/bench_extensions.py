@@ -1,0 +1,158 @@
+"""Extension experiments: the paper's future-work items, measured.
+
+* **enumeration heuristic** (Section 6.2 future work) — repairing the
+  numbered-entry template failures;
+* **hybrid segmenter** (Section 7) — "Both techniques (or a
+  combination of the two) are likely to be required";
+* **CSP attribute assignment** (Section 6.3) — column extraction from
+  the CSP side;
+* **wrapper reuse** — extracting a third, unseen list page without any
+  detail pages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import PipelineConfig
+from repro.core.evaluation import PageScore
+from repro.core.pipeline import SegmentationPipeline
+from repro.relational.csp_columns import CspColumnAssigner
+from repro.relational.evaluation import column_purity
+from repro.reporting.experiment import run_corpus, run_site
+from repro.sitegen.domains.propertytax import build_allegheny
+from repro.sitegen.site import GeneratedSite
+from repro.template.finder import TemplateFinderConfig
+from repro.wrapper import apply_wrapper, induce_wrapper, score_wrapped_rows
+
+
+def test_enumeration_heuristic(benchmark, corpus, capsys):
+    """Numbered-entry sites with and without the future-work fix."""
+    sites = ("amazon", "bnbooks", "minnesota")
+
+    def run(strip):
+        config = PipelineConfig(
+            template=TemplateFinderConfig(strip_enumerations=strip)
+        )
+        total = PageScore()
+        for name in sites:
+            for row in run_site(corpus.site(name), "prob", config):
+                total = total + row.score
+        return total
+
+    fixed = benchmark.pedantic(lambda: run(True), iterations=1, rounds=1)
+    faithful = run(False)
+    with capsys.disabled():
+        print(
+            f"\nnumbered-entry sites: paper-faithful F={faithful.f_measure:.3f}, "
+            f"with enumeration heuristic F={fixed.f_measure:.3f}"
+        )
+    assert fixed.f_measure >= faithful.f_measure
+    benchmark.extra_info["f_faithful"] = round(faithful.f_measure, 3)
+    benchmark.extra_info["f_heuristic"] = round(fixed.f_measure, 3)
+
+
+def test_hybrid_combination(benchmark, corpus, capsys):
+    """The Section 7 combination over the full corpus."""
+    result = benchmark.pedantic(
+        lambda: run_corpus(corpus, methods=("hybrid",)),
+        iterations=1,
+        rounds=1,
+    )
+    totals = result.totals("hybrid")
+    engines = [row.meta.get("engine") for row in result.rows_for("hybrid")]
+    with capsys.disabled():
+        print(
+            f"\nhybrid: P={totals.precision:.3f} R={totals.recall:.3f} "
+            f"F={totals.f_measure:.3f} "
+            f"(csp engine on {engines.count('csp')} pages, "
+            f"prob on {engines.count('prob')})"
+        )
+    # The combination should match or beat each individual method's
+    # published aggregate quality handily.
+    assert totals.f_measure >= 0.9
+    benchmark.extra_info["f_measure"] = round(totals.f_measure, 3)
+    benchmark.extra_info["csp_pages"] = engines.count("csp")
+
+
+def test_csp_attribute_assignment(benchmark, corpus, capsys):
+    """Section 6.3's suggested CSP column extraction, measured as
+    column purity on the clean property-tax sites."""
+    site = corpus.site("allegheny")
+    run = SegmentationPipeline("csp").segment_generated_site(site)
+    segmentation = run.pages[0].segmentation
+
+    columns = benchmark(lambda: CspColumnAssigner().assign(segmentation))
+    csp_score = column_purity(segmentation, site.truth[0], columns=columns)
+    positional = column_purity(segmentation, site.truth[0])
+    prob_run = SegmentationPipeline("prob").segment_generated_site(site)
+    prob_score = column_purity(prob_run.pages[0].segmentation, site.truth[0])
+    with capsys.disabled():
+        print(
+            f"\ncolumn purity (allegheny p0): positional="
+            f"{positional.purity:.3f}, csp-assigned={csp_score.purity:.3f}, "
+            f"probabilistic={prob_score.purity:.3f}"
+        )
+    assert csp_score.purity >= positional.purity
+    benchmark.extra_info["purity_csp"] = round(csp_score.purity, 3)
+    benchmark.extra_info["purity_prob"] = round(prob_score.purity, 3)
+
+
+def test_wrapper_reuse(benchmark, capsys):
+    """Learn on two pages (with details), extract a third without."""
+    spec = dataclasses.replace(
+        build_allegheny(), records_per_page=(20, 20, 14)
+    )
+    site = GeneratedSite(spec)
+    pipeline_run = SegmentationPipeline("prob").segment_site(
+        site.list_pages[:2],
+        [site.detail_pages(0), site.detail_pages(1)],
+    )
+    wrapper = induce_wrapper(pipeline_run.pages[0], pipeline_run.template_verdict)
+
+    rows = benchmark(lambda: apply_wrapper(wrapper, site.list_pages[2]))
+    correct, total = score_wrapped_rows(rows, site.truth[2])
+    with capsys.disabled():
+        print(
+            f"\nwrapper reuse: {correct}/{total} records of an unseen "
+            "page extracted with zero detail-page fetches"
+        )
+    assert correct >= total - 1
+    benchmark.extra_info["correct"] = correct
+    benchmark.extra_info["total"] = total
+
+
+def test_next_link_numbering_repair(benchmark, capsys):
+    """Section 6.2's other future-work fix: "simply follow the 'Next'
+    link ... The entry numbers of the next page will be different from
+    others in the sample."  A Next-chain sample numbers entries
+    continuously, so no number is once-per-page on every page and the
+    template survives."""
+    from repro.sitegen.domains.books import build_amazon
+    from repro.template.finder import TemplateFinder
+
+    def run(continuous):
+        spec = dataclasses.replace(
+            build_amazon(), numbering_continuous=continuous
+        )
+        site = GeneratedSite(spec)
+        verdict = TemplateFinder().find(site.list_pages)
+        total = PageScore()
+        for row in run_site(site, "prob"):
+            total = total + row.score
+        return verdict.ok, total
+
+    ok_fixed, fixed = benchmark.pedantic(
+        lambda: run(True), iterations=1, rounds=1
+    )
+    ok_faithful, faithful = run(False)
+    with capsys.disabled():
+        print(
+            f"\nNext-link repair (amazon): separate-query sample "
+            f"template_ok={ok_faithful} F={faithful.f_measure:.3f}; "
+            f"Next-chain sample template_ok={ok_fixed} "
+            f"F={fixed.f_measure:.3f}"
+        )
+    assert not ok_faithful and ok_fixed
+    assert fixed.f_measure >= faithful.f_measure
+    benchmark.extra_info["f_next_chain"] = round(fixed.f_measure, 3)

@@ -1,0 +1,69 @@
+"""Robustness curve: inconsistency level vs. segmentation quality.
+
+The paper contrasts the CSP's brittleness with the probabilistic
+model's tolerance through anecdotes (Michigan, Canada411, Minnesota);
+this sweep measures the same contrast as a curve.  A corrections-style
+site gets 0..4 planted hard conflicts per page (each the Michigan
+mechanism: a record's value quoted on one far, unrelated detail page),
+and every method is scored at each level.
+
+Expected shape: all methods perfect at 0; the CSP degrades roughly one
+record per plant (it must drop or misplace the conflicted extract);
+the probabilistic and hybrid methods degrade more slowly.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import PageScore, score_page
+from repro.core.pipeline import SegmentationPipeline
+from repro.sitegen.sweeps import noisy_site
+
+LEVELS = (0, 1, 2, 3, 4)
+METHODS = ("csp", "prob", "hybrid")
+
+
+def site_total(site, method) -> PageScore:
+    run = SegmentationPipeline(method).segment_generated_site(site)
+    total = PageScore()
+    for page_run, truth in zip(run.pages, site.truth):
+        total = total + score_page(page_run.segmentation, truth)
+    return total
+
+
+def test_noise_sweep(benchmark, capsys):
+    sites = {plants: noisy_site(plants) for plants in LEVELS}
+
+    def run_sweep():
+        return {
+            method: [site_total(sites[plants], method) for plants in LEVELS]
+            for method in METHODS
+        }
+
+    curves = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+
+    with capsys.disabled():
+        print("\nF-measure vs. planted inconsistencies per page:")
+        header = "plants: " + "  ".join(f"{plants:>5}" for plants in LEVELS)
+        print("  " + header)
+        for method in METHODS:
+            series = "  ".join(
+                f"{score.f_measure:5.3f}" for score in curves[method]
+            )
+            print(f"  {method:>6}: {series}")
+
+    # Shape assertions: clean input is perfect for everyone, and no
+    # method's curve ever rises as corruption grows... allowing tiny
+    # non-monotonic wiggles from the solvers' stochastic components.
+    for method in METHODS:
+        assert curves[method][0].f_measure == 1.0
+        assert curves[method][-1].f_measure <= curves[method][0].f_measure
+    # The robustness ordering at the heaviest level: hybrid and prob
+    # should not trail the bare CSP.
+    heaviest = {m: curves[m][-1].f_measure for m in METHODS}
+    assert heaviest["hybrid"] >= heaviest["csp"] - 0.02
+    assert heaviest["prob"] >= heaviest["csp"] - 0.02
+
+    for method in METHODS:
+        benchmark.extra_info[f"f_{method}_at_{LEVELS[-1]}"] = round(
+            heaviest[method], 3
+        )

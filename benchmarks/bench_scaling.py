@@ -1,0 +1,59 @@
+"""Scaling curve: records per page vs. per-page segmentation time.
+
+The paper's timing claim ("a few seconds to run in all cases",
+Sections 5.2.3 and 6.1) is asserted at its scale of 3-25 records per
+page; this sweep extends the curve to 60 to show both methods stay
+tractable well beyond it — the content-based premise ("the number of
+text strings on a typical Web page is very small compared to the
+number of HTML tags; therefore, inference algorithms that rely on
+content will be much faster") in numbers.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.core.evaluation import score_page
+from repro.core.pipeline import SegmentationPipeline
+from repro.sitegen.sweeps import sized_site
+
+SIZES = (10, 20, 40, 60)
+
+
+def test_scaling_sweep(benchmark, capsys):
+    sites = {size: sized_site(size) for size in SIZES}
+
+    def run_sweep():
+        results = {}
+        for method in ("csp", "prob"):
+            pipeline = SegmentationPipeline(method)
+            times, correct, total = [], 0, 0
+            for size in SIZES:
+                site = sites[size]
+                started = perf_counter()
+                run = pipeline.segment_generated_site(site)
+                times.append((perf_counter() - started) / len(run.pages))
+                for page_run, truth in zip(run.pages, site.truth):
+                    score = score_page(page_run.segmentation, truth)
+                    correct += score.cor
+                    total += len(truth.rows)
+            results[method] = (times, correct, total)
+        return results
+
+    results = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+
+    with capsys.disabled():
+        print("\nseconds per list page vs. records per page (clean grid):")
+        print("  records: " + "  ".join(f"{size:>6}" for size in SIZES))
+        for method, (times, correct, total) in results.items():
+            series = "  ".join(f"{seconds:6.2f}" for seconds in times)
+            print(f"  {method:>7}: {series}   ({correct}/{total} correct)")
+
+    for method, (times, correct, total) in results.items():
+        # Quality holds across the whole range...
+        assert correct >= total - 2
+        # ...and every page stays within "a few seconds".
+        assert max(times) < 20.0
+        benchmark.extra_info[f"{method}_seconds_at_{SIZES[-1]}"] = round(
+            times[-1], 2
+        )

@@ -1,0 +1,29 @@
+"""Paper Table 3: positions of extracts on detail pages.
+
+Renders the position matrix for the Superpages example and benchmarks
+position-group extraction, the input to the Section 4.2 position
+constraints.
+"""
+
+from __future__ import annotations
+
+from repro.reporting.tables import render_position_table
+
+
+def test_table3_positions(benchmark, superpages_problem, capsys):
+    site, table = superpages_problem
+
+    groups = benchmark(lambda: table.position_groups(min_size=2))
+
+    with capsys.disabled():
+        print()
+        print(render_position_table(table))
+        print(f"{len(groups)} shared-position groups (constraint sources)")
+
+    # Every group member's observation really was seen at that cell.
+    for group in groups:
+        for seq in group.members:
+            observation = table.observations[seq]
+            assert group.detail_page in observation.detail_pages
+            assert group.position in observation.positions[group.detail_page]
+    benchmark.extra_info["groups"] = len(groups)

@@ -1,0 +1,73 @@
+"""Paper Table 4: the main experiment.
+
+Runs both segmenters over the full 12-site corpus (two list pages per
+site), prints the per-site Cor/InC/FN/FP table with the paper's note
+letters, and reports aggregate precision/recall/F next to the paper's
+published numbers.
+
+Paper aggregates: probabilistic P=0.74 R=0.99 F=0.85;
+CSP P=0.85 R=0.84 F=0.84.  Our simulated corpus reproduces the
+qualitative shape (which sites fail, who tolerates inconsistencies,
+method ordering on precision) with higher absolute scores — see
+EXPERIMENTS.md for the per-cell discussion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.experiment import run_corpus
+from repro.reporting.tables import render_table4
+
+PAPER_AGGREGATES = {
+    "prob": {"precision": 0.74, "recall": 0.99, "f": 0.85},
+    "csp": {"precision": 0.85, "recall": 0.84, "f": 0.84},
+}
+
+
+@pytest.mark.parametrize("method", ["prob", "csp"])
+def test_table4_per_method(benchmark, corpus, method, capsys):
+    result = benchmark.pedantic(
+        lambda: run_corpus(corpus, methods=(method,)),
+        iterations=1,
+        rounds=1,
+    )
+    totals = result.totals(method)
+    paper = PAPER_AGGREGATES[method]
+    with capsys.disabled():
+        print()
+        print(render_table4(result))
+        print(
+            f"{method}: measured P={totals.precision:.2f} "
+            f"R={totals.recall:.2f} F={totals.f_measure:.2f} | paper "
+            f"P={paper['precision']:.2f} R={paper['recall']:.2f} "
+            f"F={paper['f']:.2f}"
+        )
+    # The shape claim: at least the paper's own aggregate quality.
+    assert totals.f_measure >= paper["f"]
+    benchmark.extra_info["precision"] = round(totals.precision, 3)
+    benchmark.extra_info["recall"] = round(totals.recall, 3)
+    benchmark.extra_info["f_measure"] = round(totals.f_measure, 3)
+
+
+def test_table4_combined_rendering(benchmark, corpus, capsys):
+    """Both methods side by side, as in the paper's layout."""
+    result = benchmark.pedantic(
+        lambda: run_corpus(corpus, methods=("prob", "csp")),
+        iterations=1,
+        rounds=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_table4(result))
+
+    # Table 4's qualitative anatomy:
+    # 1. template notes on exactly the paper's five sites;
+    flagged = {r.site for r in result.rows_for("csp") if "a" in r.notes}
+    assert flagged == {"amazon", "bnbooks", "minnesota", "yahoo", "superpages"}
+    # 2. relaxation on the inconsistency-bearing sites only;
+    relaxed = {r.site for r in result.rows_for("csp") if "d" in r.notes}
+    assert {"michigan", "minnesota", "canada411"} <= relaxed
+    assert not relaxed & {"allegheny", "butler", "lee", "ohio"}
+    # 3. the probabilistic method never needs relaxation.
+    assert all("d" not in r.notes for r in result.rows_for("prob"))

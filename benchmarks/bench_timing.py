@@ -1,0 +1,38 @@
+"""Paper Section 6.1's timing claim.
+
+    "The CSP and probabilistic algorithms were exceedingly fast,
+    taking only a few seconds to run in all cases."
+
+Benchmarks per-page segmentation time for both methods on a clean site
+and on a dirty site (where the CSP climbs the relaxation ladder — the
+slowest path in the system).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import SegmentationPipeline
+
+
+@pytest.mark.parametrize("method", ["prob", "csp"])
+@pytest.mark.parametrize("site_name", ["allegheny", "michigan"])
+def test_per_site_timing(benchmark, corpus, method, site_name, capsys):
+    site = corpus.site(site_name)
+    pipeline = SegmentationPipeline(method)
+
+    run = benchmark.pedantic(
+        lambda: pipeline.segment_generated_site(site),
+        iterations=1,
+        rounds=3,
+    )
+
+    slowest = max(page_run.elapsed for page_run in run.pages)
+    with capsys.disabled():
+        print(
+            f"\n{site_name}/{method}: slowest page "
+            f"{slowest:.2f}s over {len(run.pages)} pages"
+        )
+    # "a few seconds" — generous bound for CI machines.
+    assert slowest < 20.0
+    benchmark.extra_info["slowest_page_seconds"] = round(slowest, 3)

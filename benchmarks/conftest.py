@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one of the paper's tables or
+figures (see DESIGN.md's per-experiment index).  Rendered tables are
+printed to stdout — run with ``pytest benchmarks/ --benchmark-only -s``
+to see them — and the headline numbers are attached to each
+benchmark's ``extra_info`` so they land in the benchmark report too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import SegmentationPipeline
+from repro.extraction.extracts import extract_strings
+from repro.extraction.observations import ObservationTable
+from repro.sitegen.corpus import build_corpus
+from repro.template.finder import TemplateFinder
+from repro.template.table_slot import resolve_table_regions
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The 12-site corpus, rendered once per benchmark session."""
+    return build_corpus()
+
+
+@pytest.fixture(scope="session")
+def superpages_problem(corpus):
+    """The Figure 1 running example: Superpages list page 0's
+    observation table (built through the real pipeline path)."""
+    site = corpus.site("superpages")
+    verdict = TemplateFinder().find(site.list_pages)
+    regions = resolve_table_regions(site.list_pages, verdict)
+    extracts = extract_strings(regions[0])
+    table = ObservationTable.build(
+        extracts,
+        site.detail_pages(0),
+        other_list_pages=[site.list_pages[1]],
+    )
+    return site, table
+
+
+def pipeline_scores(site, method, config=None):
+    """Run one method over one site; return (scores, runs)."""
+    from repro.core.evaluation import score_page
+
+    run = SegmentationPipeline(method, config).segment_generated_site(site)
+    scores = [
+        score_page(page_run.segmentation, truth)
+        for page_run, truth in zip(run.pages, site.truth)
+    ]
+    return scores, run

@@ -1,0 +1,58 @@
+"""The full Table 4 experiment plus the baseline league table.
+
+Runs both paper methods and all three layout-based baselines over the
+complete 12-site corpus and prints the per-site results table (the
+paper's Table 4) followed by the method league table.
+
+Run:  python examples/compare_methods.py          (full corpus, ~1 min)
+      python examples/compare_methods.py ohio lee (named sites only)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import build_corpus, render_table4, run_corpus
+from repro.baselines import (
+    GrammarSegmenter,
+    PatternSegmenter,
+    TagHeuristicSegmenter,
+    run_baseline_on_site,
+)
+from repro.core.evaluation import PageScore
+from repro.sitegen.corpus import Corpus, build_site
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        corpus = Corpus(sites=[build_site(name) for name in sys.argv[1:]])
+    else:
+        corpus = build_corpus()
+
+    print(f"running both methods over {len(corpus.sites)} sites "
+          f"({corpus.total_records} records)...\n")
+    result = run_corpus(corpus, methods=("prob", "csp"))
+    print(render_table4(result))
+
+    print("\nLeague table (paper methods vs layout baselines):")
+    rows = [(m, result.totals(m)) for m in ("prob", "csp")]
+    for baseline in (TagHeuristicSegmenter(), PatternSegmenter(), GrammarSegmenter()):
+        total = PageScore()
+        for site in corpus.sites:
+            for page in run_baseline_on_site(site, baseline):
+                total = total + page.score
+        rows.append((baseline.method_name, total))
+    for name, total in sorted(rows, key=lambda r: r[1].f_measure, reverse=True):
+        print(f"  {name:<14} P={total.precision:.3f} "
+              f"R={total.recall:.3f} F={total.f_measure:.3f}")
+
+    clean = result.clean_pages()
+    print(f"\nclean subset ({len(clean)} pages where the strict CSP solved):")
+    for method in ("csp", "prob"):
+        totals = result.clean_totals(method)
+        print(f"  {method:<5} P={totals.precision:.2f} "
+              f"R={totals.recall:.2f} F={totals.f_measure:.2f}")
+
+
+if __name__ == "__main__":
+    main()

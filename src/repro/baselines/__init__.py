@@ -1,0 +1,27 @@
+"""Baseline comparators from the paper's related work (Section 2)."""
+
+from repro.baselines.grammar import (
+    GrammarSegmenter,
+    induce_row_template,
+    row_matches_template,
+)
+from repro.baselines.pat_tree import PatternSegmenter, best_repeated_pattern
+from repro.baselines.runner import BaselineSegmenter, run_baseline_on_site
+from repro.baselines.tag_heuristic import (
+    TagHeuristicSegmenter,
+    choose_row_tag,
+    split_rows_at_tag,
+)
+
+__all__ = [
+    "BaselineSegmenter",
+    "GrammarSegmenter",
+    "PatternSegmenter",
+    "TagHeuristicSegmenter",
+    "best_repeated_pattern",
+    "choose_row_tag",
+    "induce_row_template",
+    "row_matches_template",
+    "run_baseline_on_site",
+    "split_rows_at_tag",
+]

@@ -1,0 +1,71 @@
+"""Running baselines over corpus sites with the shared scoring."""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Protocol
+
+from repro.core.config import PipelineConfig
+from repro.core.evaluation import score_page
+from repro.core.results import Segmentation
+from repro.extraction.extracts import extract_strings
+from repro.extraction.observations import ObservationTable
+from repro.reporting.aggregate import PageResult
+from repro.sitegen.site import GeneratedSite
+from repro.webdoc.page import Page
+
+__all__ = ["BaselineSegmenter", "run_baseline_on_site"]
+
+
+class BaselineSegmenter(Protocol):
+    """What a baseline must provide."""
+
+    method_name: str
+
+    def segment(
+        self, table: ObservationTable, page: Page
+    ) -> Segmentation:  # pragma: no cover - protocol
+        ...
+
+
+def run_baseline_on_site(
+    site: GeneratedSite,
+    baseline: BaselineSegmenter,
+    config: PipelineConfig | None = None,
+) -> list[PageResult]:
+    """Evaluate a baseline over one site.
+
+    Baselines see the *whole page* (they bring their own structure
+    discovery instead of the paper's template finder) but share the
+    pipeline's extraction, observation filtering and scoring, so their
+    rows are directly comparable to Table 4's.
+    """
+    config = config or PipelineConfig()
+    rows: list[PageResult] = []
+    for page_index, page in enumerate(site.list_pages):
+        started = perf_counter()
+        extracts = extract_strings(list(page.tokens()), config.allowed_punct)
+        others = [
+            other
+            for position, other in enumerate(site.list_pages)
+            if position != page_index
+        ]
+        table = ObservationTable.build(
+            extracts,
+            site.detail_pages(page_index),
+            other_list_pages=others,
+            options=config.match,
+        )
+        segmentation = baseline.segment(table, page)
+        score = score_page(segmentation, site.truth[page_index])
+        rows.append(
+            PageResult(
+                site=site.spec.name,
+                page_index=page_index,
+                method=baseline.method_name,
+                score=score,
+                elapsed=perf_counter() - started,
+                meta=dict(segmentation.meta),
+            )
+        )
+    return rows

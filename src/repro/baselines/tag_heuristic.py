@@ -1,0 +1,84 @@
+"""The naive HTML-tag row-splitting baseline.
+
+The paper's introduction dismisses this family: "A naive approach
+based on using HTML tags will not work.  Only a fraction of HTML
+tables are actually created with <table> tags, and these tags are also
+used to format multi-column text, images, and other non-table
+applications."  It is implemented here as the weakest comparator:
+split the page at the most promising row tag and call each fragment a
+record.
+
+The baseline shares the pipeline's extraction and scoring machinery —
+it differs only in *segmentation*, which is the quantity the paper's
+Table 4 compares.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.results import Segmentation
+from repro.extraction.observations import ObservationTable
+from repro.tokens.tokenizer import Token
+from repro.webdoc.page import Page
+
+__all__ = ["TagHeuristicSegmenter", "split_rows_at_tag", "choose_row_tag"]
+
+#: Tags considered as row separators, in priority order.
+_ROW_TAG_PRIORITY = ("<tr>", "<div>", "<p>", "<li>", "<br>")
+
+
+def choose_row_tag(tokens: list[Token], minimum: int = 2) -> str | None:
+    """Pick the row-separator tag: the highest-priority candidate
+    occurring at least ``minimum`` times."""
+    counts = Counter(token.text for token in tokens if token.is_html)
+    for tag in _ROW_TAG_PRIORITY:
+        if counts.get(tag, 0) >= minimum:
+            return tag
+    return None
+
+
+def split_rows_at_tag(
+    tokens: list[Token], tag: str
+) -> list[tuple[int, int]]:
+    """Token-index ranges of the fragments between occurrences of ``tag``.
+
+    The fragment before the first occurrence is dropped (page header);
+    the one after the last occurrence runs to the end of the stream.
+    """
+    starts = [token.index for token in tokens if token.text == tag]
+    if not starts:
+        return []
+    ranges: list[tuple[int, int]] = []
+    for position, start in enumerate(starts):
+        end = starts[position + 1] if position + 1 < len(starts) else tokens[-1].index + 1
+        ranges.append((start, end))
+    return ranges
+
+
+class TagHeuristicSegmenter:
+    """Rows = fragments between the dominant row tag."""
+
+    method_name = "tag-heuristic"
+
+    def segment(self, table: ObservationTable, page: Page) -> Segmentation:
+        """Assign each used extract to the row fragment containing it."""
+        tokens = page.tokens()
+        tag = choose_row_tag(tokens)
+        assignment: dict[int, int | None] = {
+            observation.seq: None for observation in table.observations
+        }
+        if tag is not None:
+            ranges = split_rows_at_tag(tokens, tag)
+            for observation in table.observations:
+                start = observation.extract.start_token_index
+                for row_index, (low, high) in enumerate(ranges):
+                    if low <= start < high:
+                        assignment[observation.seq] = row_index
+                        break
+        return Segmentation.from_assignment(
+            method=self.method_name,
+            table=table,
+            assignment=assignment,
+            meta={"row_tag": tag},
+        )

@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro sites                     # list the corpus sites
+    python -m repro segment superpages        # segment one site
+    python -m repro segment ohio --method csp --page 1
+    python -m repro table4                    # the full experiment
+    python -m repro table4 --methods prob     # one method only
+    python -m repro show superpages --page 0  # dump a generated page
+    python -m repro export lee ./lee_pages    # save pages + manifest
+    python -m repro segment-dir ./lee_pages   # segment saved pages
+
+``segment-dir`` works on *any* directory holding saved list/detail
+pages with a ``sample.json`` manifest — including pages you mirrored
+from a real site — so the full pipeline is usable from the shell; the
+other commands operate on the simulated corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import METHODS
+from repro.core.evaluation import score_page
+from repro.core.pipeline import SegmentationPipeline
+from repro.reporting.experiment import run_corpus
+from repro.reporting.tables import render_table4
+from repro.sitegen.corpus import SITE_BUILDERS, TABLE4_ORDER, build_corpus, build_site
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Using the Structure of Web Sites for "
+            "Automatic Segmentation of Tables' (SIGMOD 2004)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("sites", help="list the simulated corpus sites")
+
+    segment = commands.add_parser("segment", help="segment one corpus site")
+    segment.add_argument("site", choices=sorted(SITE_BUILDERS))
+    segment.add_argument(
+        "--method", choices=METHODS, default="prob", help="segmenter to run"
+    )
+    segment.add_argument(
+        "--page", type=int, default=None, help="only this list page"
+    )
+
+    table4 = commands.add_parser(
+        "table4", help="run the paper's main experiment"
+    )
+    table4.add_argument(
+        "--methods",
+        nargs="+",
+        choices=METHODS,
+        default=["prob", "csp"],
+        help="methods to evaluate",
+    )
+
+    export = commands.add_parser(
+        "export", help="save a simulated site's pages + manifest to disk"
+    )
+    export.add_argument("site", choices=sorted(SITE_BUILDERS))
+    export.add_argument("directory", help="output directory")
+
+    segment_dir = commands.add_parser(
+        "segment-dir",
+        help="segment saved pages (a directory with a sample.json manifest)",
+    )
+    segment_dir.add_argument("directory", help="sample directory")
+    segment_dir.add_argument(
+        "--method", choices=METHODS, default="prob", help="segmenter to run"
+    )
+
+    show = commands.add_parser("show", help="print a generated page's HTML")
+    show.add_argument("site", choices=sorted(SITE_BUILDERS))
+    show.add_argument("--page", type=int, default=0, help="list page index")
+    show.add_argument(
+        "--detail", type=int, default=None, help="detail page index instead"
+    )
+    return parser
+
+
+def _cmd_sites(out) -> int:
+    corpus = build_corpus()
+    print(f"{'site':<14} {'domain':<12} {'records':<9} layout", file=out)
+    for site in corpus.sites:
+        spec = site.spec
+        counts = "/".join(str(count) for count in spec.records_per_page)
+        print(
+            f"{spec.name:<14} {spec.domain:<12} {counts:<9} "
+            f"{spec.layout.value}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_segment(args, out) -> int:
+    site = build_site(args.site)
+    run = SegmentationPipeline(args.method).segment_generated_site(site)
+    status = 0
+    for page_run, truth in zip(run.pages, site.truth):
+        if args.page is not None and truth.page_index != args.page:
+            continue
+        score = score_page(page_run.segmentation, truth)
+        print(
+            f"== {page_run.page.url} [{args.method}] "
+            f"Cor={score.cor} InC={score.inc} FN={score.fn} "
+            f"FP={score.fp} ({page_run.elapsed:.2f}s)",
+            file=out,
+        )
+        for record in page_run.segmentation.records:
+            print(f"  {record}", file=out)
+        if score.cor < len(truth.rows):
+            status = 1
+    return status
+
+
+def _cmd_table4(args, out) -> int:
+    result = run_corpus(methods=tuple(args.methods))
+    print(render_table4(result), file=out)
+    return 0
+
+
+def _cmd_export(args, out) -> int:
+    from repro.webdoc.store import save_sample
+
+    site = build_site(args.site)
+    manifest = save_sample(
+        args.directory,
+        args.site,
+        site.list_pages,
+        [site.detail_pages(i) for i in range(len(site.list_pages))],
+    )
+    print(f"wrote {manifest}", file=out)
+    return 0
+
+
+def _cmd_segment_dir(args, out) -> int:
+    from repro.webdoc.store import load_sample
+
+    sample = load_sample(args.directory)
+    pipeline = SegmentationPipeline(args.method)
+    run = pipeline.segment_site(
+        sample.list_pages, sample.detail_pages_per_list
+    )
+    for page_run in run.pages:
+        segmentation = page_run.segmentation
+        print(
+            f"== {page_run.page.url} [{args.method}] "
+            f"{segmentation.record_count} records "
+            f"({page_run.elapsed:.2f}s)",
+            file=out,
+        )
+        for record in segmentation.records:
+            print(f"  {record}", file=out)
+        if segmentation.unassigned:
+            print(
+                "  unassigned: "
+                + " | ".join(o.extract.text for o in segmentation.unassigned),
+                file=out,
+            )
+    return 0
+
+
+def _cmd_show(args, out) -> int:
+    site = build_site(args.site)
+    if args.detail is not None:
+        page = site.detail_pages(args.page)[args.detail]
+    else:
+        page = site.list_pages[args.page]
+    print(page.html, file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "sites":
+        return _cmd_sites(out)
+    if args.command == "segment":
+        return _cmd_segment(args, out)
+    if args.command == "table4":
+        return _cmd_table4(args, out)
+    if args.command == "export":
+        return _cmd_export(args, out)
+    if args.command == "segment-dir":
+        return _cmd_segment_dir(args, out)
+    if args.command == "show":
+        return _cmd_show(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,161 @@
+"""Scoring segmentations against ground truth (paper Section 6.2).
+
+    "We manually checked the results of automatic segmentation and
+    classified them as correctly segmented (Cor) and incorrectly
+    segmented (InCor) records, unsegmented records (FN) and
+    non-records (FP).
+        P = Cor/(Cor + InCor + FP)
+        R = Cor/(Cor + FN)
+        F = 2PR/(P + R)"
+
+The simulator replaces the manual check: every extract is attributed
+to its true record through the character span its row occupied in the
+list page HTML.  Counting follows the paper's Table 4, where each
+row's Cor + InC + FN equals the page's record count — i.e. every
+*true* record is classified exactly once:
+
+* **Cor** — some predicted record's assigned extracts exactly cover
+  this record's matchable extracts (and nothing else);
+* **InC** — the record's extracts appear in predicted records, but no
+  exact cover exists (merged, split or polluted);
+* **FN** — no predicted record touches the record at all (the
+  unsegmented records that partial/relaxed assignments leave behind).
+
+**FP** counts predicted records containing no truth content at all
+(non-records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.core.results import Segmentation
+from repro.extraction.observations import ObservationTable
+
+if TYPE_CHECKING:  # pragma: no cover - break core <-> sitegen import cycle
+    from repro.sitegen.site import ListPageTruth
+
+__all__ = ["PageScore", "ScoreCard", "truth_assignment", "score_page"]
+
+
+@dataclass
+class PageScore:
+    """Cor / InC / FN / FP counts for one list page."""
+
+    cor: int = 0
+    inc: int = 0
+    fn: int = 0
+    fp: int = 0
+
+    def __add__(self, other: "PageScore") -> "PageScore":
+        return PageScore(
+            cor=self.cor + other.cor,
+            inc=self.inc + other.inc,
+            fn=self.fn + other.fn,
+            fp=self.fp + other.fp,
+        )
+
+    @property
+    def precision(self) -> float:
+        denominator = self.cor + self.inc + self.fp
+        return self.cor / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.cor + self.fn
+        return self.cor / denominator if denominator else 0.0
+
+    @property
+    def f_measure(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def as_row(self) -> tuple[int, int, int, int]:
+        return (self.cor, self.inc, self.fn, self.fp)
+
+
+@dataclass
+class ScoreCard:
+    """Accumulates page scores into the paper's aggregate metrics."""
+
+    pages: list[PageScore] = field(default_factory=list)
+
+    def add(self, score: PageScore) -> None:
+        self.pages.append(score)
+
+    @property
+    def total(self) -> PageScore:
+        result = PageScore()
+        for page in self.pages:
+            result = result + page
+        return result
+
+
+def truth_assignment(
+    table: ObservationTable, truth: "ListPageTruth"
+) -> dict[int, int | None]:
+    """Map each used observation ``seq`` to its true record index.
+
+    The extract's first token carries its character offset in the list
+    page; the true record is the row whose span contains it.  Extracts
+    outside every row span (chrome, ads under the whole-page fallback)
+    map to ``None``.
+    """
+    assignment: dict[int, int | None] = {}
+    for observation in table.observations:
+        offset = observation.extract.tokens[0].start
+        row = truth.row_of_offset(offset) if offset >= 0 else None
+        assignment[observation.seq] = row.record_index if row else None
+    return assignment
+
+
+def score_page(
+    segmentation: Segmentation, truth: "ListPageTruth"
+) -> PageScore:
+    """Score one page's segmentation against its ground truth."""
+    table = segmentation.table
+    seq_truth = truth_assignment(table, truth)
+
+    # Matchable extract set of each true record.
+    truth_sets: dict[int, frozenset[int]] = {}
+    for row in truth.rows:
+        members = frozenset(
+            seq for seq, record in seq_truth.items() if record == row.record_index
+        )
+        truth_sets[row.record_index] = members
+
+    score = PageScore()
+
+    # Predicted records containing no truth content are non-records.
+    predicted_sets: list[frozenset[int]] = []
+    for predicted in segmentation.records:
+        assigned = predicted.assigned_seqs
+        if assigned and all(seq_truth[seq] is None for seq in assigned):
+            score.fp += 1
+        else:
+            predicted_sets.append(assigned)
+
+    # Classify every true record exactly once.
+    exactly_covered = {
+        assigned for assigned in predicted_sets
+    }
+    touched: set[int] = set()
+    for assigned in predicted_sets:
+        for seq in assigned:
+            record_index = seq_truth[seq]
+            if record_index is not None:
+                touched.add(record_index)
+
+    for row in truth.rows:
+        members = truth_sets[row.record_index]
+        if members and members in exactly_covered:
+            score.cor += 1
+        elif row.record_index in touched:
+            score.inc += 1
+        else:
+            score.fn += 1
+    return score

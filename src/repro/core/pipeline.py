@@ -1,0 +1,166 @@
+"""The end-to-end segmentation pipeline (paper Section 3).
+
+Given a site's sample list pages and, for each, its detail pages in
+link order, :class:`SegmentationPipeline` runs the full method:
+
+1. page-template induction over the list pages, with the whole-page
+   fallback on failure (Sections 3.1, 6.2);
+2. table-slot resolution and extract extraction (Section 3.2);
+3. observation building: matching against detail pages, the
+   all-lists/all-details filters, positions (Sections 3.2, 4.2);
+4. record segmentation by the configured method — ``"csp"``
+   (Section 4) or ``"prob"`` (Section 5);
+5. the rest-of-the-data attachment rule (Section 6.2).
+
+The pipeline never raises on a *degenerate page* (no extracts survive
+the filters): it returns an empty segmentation with the reason in
+``meta`` so corpus-wide runs always complete, mirroring how the paper
+reports such pages as rows of unsegmented records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.core.config import METHODS, PipelineConfig
+from repro.core.exceptions import ConfigError, EmptyProblemError
+from repro.core.results import Segmentation
+from repro.csp.segmenter import CspSegmenter
+from repro.extraction.extracts import extract_strings
+from repro.extraction.observations import ObservationTable
+from repro.prob.segmenter import ProbabilisticSegmenter
+from repro.sitegen.site import GeneratedSite
+from repro.template.finder import TemplateFinder, TemplateVerdict
+from repro.template.table_slot import resolve_table_regions
+from repro.webdoc.page import Page
+
+__all__ = ["PageRun", "SiteRun", "SegmentationPipeline"]
+
+
+@dataclass
+class PageRun:
+    """Everything produced for one list page.
+
+    Attributes:
+        page: the list page.
+        table: the observation table that was segmented.
+        segmentation: the method's output.
+        elapsed: segmentation wall-clock seconds (observation building
+            included).
+    """
+
+    page: Page
+    table: ObservationTable
+    segmentation: Segmentation
+    elapsed: float
+
+
+@dataclass
+class SiteRun:
+    """A pipeline run over one site's sample."""
+
+    method: str
+    template_verdict: TemplateVerdict
+    pages: list[PageRun] = field(default_factory=list)
+
+    @property
+    def whole_page_fallback(self) -> bool:
+        """Did the site hit the template fallback (Table 4 note *b*)?"""
+        return not self.template_verdict.ok
+
+
+class SegmentationPipeline:
+    """Site in, records out."""
+
+    def __init__(
+        self, method: str = "csp", config: PipelineConfig | None = None
+    ) -> None:
+        if method not in METHODS:
+            raise ConfigError(f"unknown method {method!r}; pick from {METHODS}")
+        self.method = method
+        self.config = config or PipelineConfig()
+        self._finder = TemplateFinder(self.config.template)
+
+    def _make_segmenter(self):
+        if self.method == "csp":
+            return CspSegmenter(self.config.csp)
+        if self.method == "hybrid":
+            from repro.core.hybrid import HybridConfig, HybridSegmenter
+
+            return HybridSegmenter(
+                HybridConfig(csp=self.config.csp, prob=self.config.prob)
+            )
+        return ProbabilisticSegmenter(self.config.prob)
+
+    def segment_site(
+        self,
+        list_pages: list[Page],
+        detail_pages_per_list: list[list[Page]],
+    ) -> SiteRun:
+        """Run the full method over one site's sample.
+
+        Args:
+            list_pages: the sample list pages (>= 2).
+            detail_pages_per_list: for each list page, its detail
+                pages in link order (index = record number).
+        """
+        if len(list_pages) != len(detail_pages_per_list):
+            raise ConfigError(
+                "need one detail-page list per list page "
+                f"({len(list_pages)} vs {len(detail_pages_per_list)})"
+            )
+        verdict = self._finder.find(list_pages)
+        regions = resolve_table_regions(list_pages, verdict)
+        run = SiteRun(method=self.method, template_verdict=verdict)
+
+        for index, region in enumerate(regions):
+            started = perf_counter()
+            extracts = extract_strings(region, self.config.allowed_punct)
+            other_lists = [
+                page for position, page in enumerate(list_pages) if position != index
+            ]
+            table = ObservationTable.build(
+                extracts,
+                detail_pages_per_list[index],
+                other_list_pages=other_lists,
+                options=self.config.match,
+            )
+            segmentation = self._segment_table(table)
+            segmentation.meta.setdefault("template_ok", verdict.ok)
+            segmentation.meta.setdefault("whole_page", region.whole_page)
+            run.pages.append(
+                PageRun(
+                    page=region.page,
+                    table=table,
+                    segmentation=segmentation,
+                    elapsed=perf_counter() - started,
+                )
+            )
+        return run
+
+    def segment_generated_site(self, site: GeneratedSite) -> SiteRun:
+        """Convenience wrapper for simulator sites."""
+        return self.segment_site(
+            site.list_pages,
+            [site.detail_pages(index) for index in range(len(site.list_pages))],
+        )
+
+    def _segment_table(self, table: ObservationTable) -> Segmentation:
+        if not table.observations:
+            return Segmentation(
+                method=self.method,
+                records=[],
+                table=table,
+                meta={"empty_problem": True},
+            )
+        segmenter = self._make_segmenter()
+        try:
+            return segmenter.segment(table)
+        except EmptyProblemError:  # pragma: no cover - guarded above
+            return Segmentation(
+                method=self.method,
+                records=[],
+                table=table,
+                meta={"empty_problem": True},
+            )

@@ -1,0 +1,188 @@
+"""Result types shared by both segmenters.
+
+A :class:`Segmentation` is the common currency of the library: the CSP
+and probabilistic segmenters both produce one, the evaluation module
+scores one against ground truth, and the reporting module renders one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.extraction.extracts import Extract
+from repro.extraction.observations import Observation, ObservationTable
+
+__all__ = ["SegmentedRecord", "Segmentation"]
+
+
+@dataclass
+class SegmentedRecord:
+    """One predicted record.
+
+    Attributes:
+        record_id: the detail-page index this record corresponds to
+            (the ``j`` of ``r_j``).
+        observations: the used extracts assigned to this record by the
+            segmenter, in page order.
+        attached: extracts appended by the paper's rest-of-the-data
+            rule ("the rest of the table data are assumed to belong to
+            the same record as the last assigned extract"); these did
+            not take part in segmentation.
+        columns: optional ``seq -> column label`` mapping for the
+            assigned observations (probabilistic segmenter only).
+    """
+
+    record_id: int
+    observations: list[Observation] = field(default_factory=list)
+    attached: list[Extract] = field(default_factory=list)
+    columns: dict[int, int] | None = None
+
+    @property
+    def assigned_seqs(self) -> frozenset[int]:
+        """Sequence indices of the assigned observations."""
+        return frozenset(observation.seq for observation in self.observations)
+
+    @property
+    def extract_texts(self) -> list[str]:
+        """Display texts of the assigned extracts (page order)."""
+        return [observation.extract.text for observation in self.observations]
+
+    @property
+    def full_texts(self) -> list[str]:
+        """Assigned plus attached extract texts, in page order."""
+        items: list[tuple[int, str]] = [
+            (observation.extract.index, observation.extract.text)
+            for observation in self.observations
+        ]
+        items.extend((extract.index, extract.text) for extract in self.attached)
+        return [text for _, text in sorted(items)]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"r{self.record_id}: " + " | ".join(self.extract_texts)
+
+
+@dataclass
+class Segmentation:
+    """The output of one segmentation run over one list page.
+
+    Attributes:
+        method: ``"csp"`` or ``"prob"`` (or a baseline name).
+        records: the predicted records, ordered by record id.  Records
+            with no assigned extracts are omitted.
+        table: the observation table that was segmented.
+        unassigned: used observations left out of every record (a
+            *partial* assignment — paper Section 6.3).
+        meta: method-specific diagnostics (relaxation level, EM
+            iterations, log-likelihood, solver stats, template fate...).
+    """
+
+    method: str
+    records: list[SegmentedRecord]
+    table: ObservationTable
+    unassigned: list[Observation] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_assignment(
+        cls,
+        method: str,
+        table: ObservationTable,
+        assignment: dict[int, int | None],
+        columns: dict[int, int] | None = None,
+        meta: dict[str, Any] | None = None,
+        attach_rest: bool = True,
+    ) -> "Segmentation":
+        """Build a segmentation from a ``seq -> record`` assignment.
+
+        Args:
+            method: segmenter name for provenance.
+            table: the observation table segmented.
+            assignment: record for each used observation ``seq`` (None
+                = unassigned).
+            columns: optional ``seq -> column`` labels.
+            meta: diagnostics to carry.
+            attach_rest: apply the paper's rest-of-the-data rule,
+                attaching unused extracts (and leading ones, to the
+                first assigned record).
+        """
+        by_record: dict[int, SegmentedRecord] = {}
+        unassigned: list[Observation] = []
+        for observation in table.observations:
+            record_id = assignment.get(observation.seq)
+            if record_id is None:
+                unassigned.append(observation)
+                continue
+            record = by_record.setdefault(record_id, SegmentedRecord(record_id))
+            record.observations.append(observation)
+            if columns and observation.seq in columns:
+                if record.columns is None:
+                    record.columns = {}
+                record.columns[observation.seq] = columns[observation.seq]
+
+        if attach_rest and by_record:
+            cls._attach_rest(table, assignment, by_record)
+
+        records = [by_record[record_id] for record_id in sorted(by_record)]
+        return cls(
+            method=method,
+            records=records,
+            table=table,
+            unassigned=unassigned,
+            meta=dict(meta or {}),
+        )
+
+    @staticmethod
+    def _attach_rest(
+        table: ObservationTable,
+        assignment: dict[int, int | None],
+        by_record: dict[int, SegmentedRecord],
+    ) -> None:
+        """Attach non-segmented extracts to the record of the last
+        assigned extract (leading ones go to the first record)."""
+        record_of_extract: dict[int, int] = {}
+        for observation in table.observations:
+            record_id = assignment.get(observation.seq)
+            if record_id is not None:
+                record_of_extract[observation.extract.index] = record_id
+
+        if not record_of_extract:
+            return
+        first_record = record_of_extract[min(record_of_extract)]
+
+        assigned_indices = set(record_of_extract)
+        current = first_record
+        for extract in sorted(table.extracts, key=lambda e: e.index):
+            if extract.index in assigned_indices:
+                current = record_of_extract[extract.index]
+                continue
+            by_record[current].attached.append(extract)
+
+    @property
+    def record_count(self) -> int:
+        """Number of non-empty predicted records."""
+        return len(self.records)
+
+    @property
+    def is_partial(self) -> bool:
+        """True when some used observation was left unassigned."""
+        return bool(self.unassigned)
+
+    def record_for(self, record_id: int) -> SegmentedRecord | None:
+        """The predicted record for detail page ``record_id``, if any."""
+        for record in self.records:
+            if record.record_id == record_id:
+                return record
+        return None
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [f"Segmentation[{self.method}]: {self.record_count} records"]
+        for record in self.records:
+            lines.append(f"  {record}")
+        if self.unassigned:
+            lines.append(
+                "  unassigned: "
+                + " | ".join(o.extract.text for o in self.unassigned)
+            )
+        return "\n".join(lines)

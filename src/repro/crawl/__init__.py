@@ -1,0 +1,31 @@
+"""Site navigation: fetching, crawling, list/detail classification."""
+
+from repro.crawl.classifier import ClassifierConfig, PageClassifier, page_similarity
+from repro.crawl.crawler import (
+    CrawlResult,
+    Crawler,
+    crawl_generated_site,
+    extract_links,
+)
+from repro.crawl.discover import (
+    DiscoveredSite,
+    discover_site,
+    extract_links_with_text,
+    follow_next_chain,
+)
+from repro.crawl.fetcher import SiteFetcher
+
+__all__ = [
+    "ClassifierConfig",
+    "CrawlResult",
+    "Crawler",
+    "DiscoveredSite",
+    "PageClassifier",
+    "SiteFetcher",
+    "crawl_generated_site",
+    "discover_site",
+    "extract_links",
+    "extract_links_with_text",
+    "follow_next_chain",
+    "page_similarity",
+]

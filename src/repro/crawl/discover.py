@@ -1,0 +1,145 @@
+"""Automatic site discovery from the entry point.
+
+The paper's Section 3 vision starts one level above the pipeline's
+inputs: "the user provides a pointer to the top-level page — index
+page or a form — and the system automatically navigates the site,
+retrieving all pages, classifying them as list and detail pages".
+
+:func:`discover_site` implements that navigation over a fetcher:
+
+1. follow each link off the entry page;
+2. from every landing page, walk its "Next" chain (the paper's own
+   suggestion: "One method is to simply follow the 'Next' link, and
+   download the next page of results");
+3. accept the first chain whose pages all crawl like list pages —
+   i.e. each links to a sizeable cluster of same-template (detail)
+   pages.
+
+The result is exactly what
+:meth:`~repro.core.pipeline.SegmentationPipeline.segment_site` wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import CrawlError
+from repro.crawl.classifier import ClassifierConfig
+from repro.crawl.crawler import CrawlResult, Crawler, extract_links
+from repro.crawl.fetcher import SiteFetcher
+from repro.webdoc.html import EventKind, lex_html
+from repro.webdoc.page import Page
+
+__all__ = ["DiscoveredSite", "discover_site", "extract_links_with_text", "follow_next_chain"]
+
+
+def extract_links_with_text(html: str) -> list[tuple[str, str]]:
+    """``(href, anchor text)`` pairs in document order.
+
+    Anchor text is the visible text up to the matching ``</a>``
+    (whitespace-normalized).  Unlike
+    :func:`~repro.crawl.crawler.extract_links`, duplicates are kept:
+    the caller may care about each anchor's text separately.
+    """
+    pairs: list[tuple[str, str]] = []
+    current_href: str | None = None
+    current_text: list[str] = []
+    for event in lex_html(html):
+        if event.kind is EventKind.TAG_OPEN and event.data == "a":
+            href = event.attrs.get("href", "").strip()
+            current_href = href or None
+            current_text = []
+        elif event.kind is EventKind.TAG_CLOSE and event.data == "a":
+            if current_href is not None:
+                pairs.append((current_href, " ".join(" ".join(current_text).split())))
+            current_href = None
+        elif event.kind is EventKind.TEXT and current_href is not None:
+            current_text.append(event.data)
+    return pairs
+
+
+def follow_next_chain(
+    fetcher: SiteFetcher, start: Page, max_pages: int = 10
+) -> list[Page]:
+    """The page plus everything its "Next" links lead to, in order."""
+    chain = [start]
+    seen = {start.url}
+    while len(chain) < max_pages:
+        next_url = None
+        for href, text in extract_links_with_text(chain[-1].html):
+            if text.strip().lower() == "next":
+                next_url = href
+                break
+        if next_url is None or next_url in seen:
+            break
+        page = fetcher.try_fetch(next_url)
+        if page is None:
+            break
+        seen.add(page.url)
+        chain.append(page)
+    return chain
+
+
+@dataclass
+class DiscoveredSite:
+    """What automatic navigation found.
+
+    Attributes:
+        list_pages: the results chain, in Next order.
+        crawl_results: per list page, its crawled/classified details.
+    """
+
+    list_pages: list[Page] = field(default_factory=list)
+    crawl_results: list[CrawlResult] = field(default_factory=list)
+
+    @property
+    def detail_pages_per_list(self) -> list[list[Page]]:
+        return [result.detail_pages for result in self.crawl_results]
+
+
+def discover_site(
+    fetcher: SiteFetcher,
+    index_url: str,
+    min_details: int = 2,
+    max_chain: int = 10,
+    classifier_config: ClassifierConfig | None = None,
+) -> DiscoveredSite:
+    """Navigate from the entry page to the pipeline's inputs.
+
+    Args:
+        fetcher: the page source.
+        index_url: the user's "pointer to the top-level page".
+        min_details: a chain page must link to at least this many
+            same-template pages to count as a list page.
+        max_chain: Next-chain length cap.
+        classifier_config: detail-classifier settings.
+
+    Raises:
+        CrawlError: no link off the entry page leads to a valid
+            results chain.
+    """
+    index = fetcher.fetch(index_url)
+    crawler = Crawler(fetcher, classifier_config)
+
+    for url in extract_links(index.html):
+        start = fetcher.try_fetch(url)
+        if start is None:
+            continue
+        chain = follow_next_chain(fetcher, start, max_chain)
+        results: list[CrawlResult] = []
+        for page in chain:
+            try:
+                result = crawler.collect(page)
+            except CrawlError:
+                results = []
+                break
+            if len(result.detail_pages) < min_details:
+                results = []
+                break
+            results.append(result)
+        if results:
+            return DiscoveredSite(list_pages=chain, crawl_results=results)
+
+    raise CrawlError(
+        f"no results chain found from entry page {index_url!r}"
+    )

@@ -1,0 +1,51 @@
+"""Simulated HTTP fetching over a generated site.
+
+The paper's vision (Section 3): "the user provides a pointer to the
+top-level page ... and the system automatically navigates the site,
+retrieving all pages".  :class:`SiteFetcher` is the retrieval layer of
+that loop for simulator sites: URL in, :class:`~repro.webdoc.page.Page`
+out, with request accounting and a response cache — the observable
+behaviour of a polite crawler, minus the network.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import FetchError
+from repro.sitegen.site import GeneratedSite
+from repro.webdoc.page import Page
+
+__all__ = ["SiteFetcher"]
+
+
+class SiteFetcher:
+    """Fetch pages from a :class:`GeneratedSite` with caching."""
+
+    def __init__(self, site: GeneratedSite) -> None:
+        self.site = site
+        self.requests = 0  #: cache-missing fetches performed
+        self.failures = 0  #: fetches that raised (dead links)
+        self._cache: dict[str, Page] = {}
+
+    def fetch(self, url: str) -> Page:
+        """Fetch a URL.
+
+        Raises:
+            FetchError: the site does not serve this URL.
+        """
+        if url in self._cache:
+            return self._cache[url]
+        self.requests += 1
+        try:
+            page = self.site.fetch(url)
+        except FetchError:
+            self.failures += 1
+            raise
+        self._cache[url] = page
+        return page
+
+    def try_fetch(self, url: str) -> Page | None:
+        """Fetch a URL, returning None on dead links."""
+        try:
+            return self.fetch(url)
+        except FetchError:
+            return None

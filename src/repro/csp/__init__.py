@@ -1,0 +1,27 @@
+"""CSP record segmenter (paper Section 4)."""
+
+from repro.csp.constraints import ConstraintSystem, LinearConstraint, Relation
+from repro.csp.encoder import EncoderConfig, SegmentationCsp, encode_segmentation
+from repro.csp.exact import ExactConfig, ExactResult, ExactSolver
+from repro.csp.relaxation import RelaxationLevel, encode_at_level
+from repro.csp.segmenter import CspConfig, CspSegmenter
+from repro.csp.wsat import WsatConfig, WsatResult, WsatSolver
+
+__all__ = [
+    "ConstraintSystem",
+    "CspConfig",
+    "CspSegmenter",
+    "EncoderConfig",
+    "ExactConfig",
+    "ExactResult",
+    "ExactSolver",
+    "LinearConstraint",
+    "Relation",
+    "RelaxationLevel",
+    "SegmentationCsp",
+    "WsatConfig",
+    "WsatResult",
+    "WsatSolver",
+    "encode_at_level",
+    "encode_segmentation",
+]

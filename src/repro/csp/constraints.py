@@ -1,0 +1,183 @@
+"""Linear pseudo-boolean constraints (paper Section 4).
+
+The paper encodes record segmentation "into pseudo-boolean
+representation": 0-1 variables with linear equality/inequality
+constraints.  This module provides the representation shared by the
+WSAT(OIP)-style local-search solver and the exact backtracking solver:
+
+* :class:`LinearConstraint` — ``sum(coef * x_var) REL bound`` with an
+  integer bound and a relation in {<=, >=, ==};
+* :class:`ConstraintSystem` — a set of constraints over named 0-1
+  variables, with violation accounting.
+
+Violation of a constraint under an assignment is the (non-negative)
+amount by which its bound is missed; a system's *score* is the weighted
+sum of violations, which both solvers drive to zero.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Relation", "LinearConstraint", "ConstraintSystem"]
+
+
+class Relation(enum.Enum):
+    """Comparison relation of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """One linear pseudo-boolean constraint.
+
+    Attributes:
+        terms: ``(coefficient, variable_index)`` pairs; variables are
+            0-1.  A variable appears at most once.
+        relation: the comparison.
+        bound: the right-hand side.
+        weight: contribution of one unit of violation to the system
+            score.  All of the paper's constraints are hard; weights
+            exist so ablations can trade constraints off.
+        hard: hard constraints define satisfiability; soft constraints
+            only contribute to the optimization score.  WSAT(OIP) is an
+            *over-constrained* solver: at relaxed levels the segmenter
+            adds soft assign-me constraints so the search prefers the
+            largest consistent partial assignment over the trivially
+            feasible empty one.
+        label: provenance tag (``"uniq[3]"``, ``"pos[1,730]"``, ...)
+            used in diagnostics and tests.
+    """
+
+    terms: tuple[tuple[int, int], ...]
+    relation: Relation
+    bound: int
+    weight: float = 1.0
+    hard: bool = True
+    label: str = ""
+
+    def lhs(self, assignment: list[int]) -> int:
+        """Evaluate the left-hand side under ``assignment``."""
+        return sum(coef * assignment[var] for coef, var in self.terms)
+
+    def violation_of(self, lhs: int) -> int:
+        """Units of violation for a given left-hand-side value."""
+        if self.relation is Relation.LE:
+            return max(0, lhs - self.bound)
+        if self.relation is Relation.GE:
+            return max(0, self.bound - lhs)
+        return abs(lhs - self.bound)
+
+    def violation(self, assignment: list[int]) -> int:
+        """Units of violation under ``assignment``."""
+        return self.violation_of(self.lhs(assignment))
+
+    def is_satisfied(self, assignment: list[int]) -> bool:
+        """Does ``assignment`` satisfy this constraint?"""
+        return self.violation(assignment) == 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = " + ".join(
+            (f"x{var}" if coef == 1 else f"{coef}*x{var}") for coef, var in self.terms
+        )
+        tag = f"  [{self.label}]" if self.label else ""
+        return f"{parts} {self.relation.value} {self.bound}{tag}"
+
+
+@dataclass
+class ConstraintSystem:
+    """A pseudo-boolean constraint system over named 0-1 variables.
+
+    Attributes:
+        num_vars: number of variables (indices ``0..num_vars-1``).
+        constraints: the constraints.
+        var_names: optional human-readable variable names (``x[i,j]``).
+    """
+
+    num_vars: int
+    constraints: list[LinearConstraint] = field(default_factory=list)
+    var_names: list[str] = field(default_factory=list)
+
+    def add(
+        self,
+        terms: list[tuple[int, int]],
+        relation: Relation,
+        bound: int,
+        weight: float = 1.0,
+        hard: bool = True,
+        label: str = "",
+    ) -> LinearConstraint:
+        """Create, validate, register and return a constraint."""
+        seen: set[int] = set()
+        for _, var in terms:
+            if not 0 <= var < self.num_vars:
+                raise ValueError(f"variable x{var} out of range")
+            if var in seen:
+                raise ValueError(f"variable x{var} repeated in constraint")
+            seen.add(var)
+        constraint = LinearConstraint(
+            terms=tuple(terms),
+            relation=relation,
+            bound=bound,
+            weight=weight,
+            hard=hard,
+            label=label,
+        )
+        self.constraints.append(constraint)
+        return constraint
+
+    @property
+    def hard_constraints(self) -> list[LinearConstraint]:
+        """Only the hard constraints (satisfiability-defining)."""
+        return [c for c in self.constraints if c.hard]
+
+    def total_violation(self, assignment: list[int]) -> float:
+        """Weighted sum of violations under ``assignment`` (hard + soft)."""
+        return sum(
+            constraint.weight * constraint.violation(assignment)
+            for constraint in self.constraints
+        )
+
+    def hard_violation(self, assignment: list[int]) -> float:
+        """Weighted violation of the hard constraints only."""
+        return sum(
+            constraint.weight * constraint.violation(assignment)
+            for constraint in self.constraints
+            if constraint.hard
+        )
+
+    def is_satisfied(self, assignment: list[int]) -> bool:
+        """Does ``assignment`` satisfy every *hard* constraint?"""
+        return all(
+            constraint.is_satisfied(assignment)
+            for constraint in self.constraints
+            if constraint.hard
+        )
+
+    def violated(self, assignment: list[int]) -> list[LinearConstraint]:
+        """The constraints violated by ``assignment`` (diagnostics)."""
+        return [
+            constraint
+            for constraint in self.constraints
+            if not constraint.is_satisfied(assignment)
+        ]
+
+    def var_name(self, var: int) -> str:
+        """Readable name of variable ``var``."""
+        if var < len(self.var_names):
+            return self.var_names[var]
+        return f"x{var}"
+
+    def stats(self) -> dict[str, int]:
+        """Size statistics, keyed by constraint-label prefix."""
+        by_kind: dict[str, int] = {}
+        for constraint in self.constraints:
+            kind = constraint.label.split("[", 1)[0] or "other"
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        by_kind["variables"] = self.num_vars
+        by_kind["constraints"] = len(self.constraints)
+        return by_kind

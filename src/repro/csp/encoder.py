@@ -1,0 +1,270 @@
+"""Encoding record segmentation as a pseudo-boolean CSP (paper Section 4).
+
+Variables: ``x_ij = 1`` iff extract ``E_i`` is assigned to record
+``r_j``.  A variable exists only where the observation table permits
+it: "If extract E_i was not observed on detail page r_j (r_j not in
+D_i), then x_ij = 0" — such variables are simply never created.
+
+Constraint families:
+
+* **uniqueness** (Section 4.1): every extract belongs to exactly one
+  record, ``sum_j x_ij = 1``; relaxed form ``<= 1``.
+* **consecutiveness** (Section 4.1): only contiguous blocks of extracts
+  may share a record.  Encoded per record over its *candidate* extracts
+  (those with ``r_j in D_i``): candidates form maximal runs of
+  consecutive sequence indices; extracts from different runs are
+  mutually exclusive (the gap contains a non-candidate that could never
+  join the record), and within a run the paper's triple form
+  ``x_ij + x_kj - x_nj <= 1`` (i < n < k) forbids holes.
+* **position** (Section 4.2): extracts observed at the same position on
+  a detail page compete for that record — exactly one of them is the
+  string actually at that position, ``sum x_ij = 1``; relaxed ``<= 1``.
+  Generated only for groups of two or more, mirroring the paper's
+  example (singleton groups carry no extra information beyond D_i).
+* **ordering** (optional, default off): horizontal-table premise of
+  Section 3.2 — record order in the text stream equals record order in
+  the table, so an earlier extract cannot belong to a later record than
+  a later extract: ``x_aj + x_bj' <= 1`` for a < b, j > j'.
+
+The encoder is pure: it reads an
+:class:`~repro.extraction.observations.ObservationTable` and produces a
+:class:`SegmentationCsp` without touching any solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import EmptyProblemError
+from repro.csp.constraints import ConstraintSystem, Relation
+from repro.extraction.observations import ObservationTable
+
+__all__ = ["EncoderConfig", "SegmentationCsp", "encode_segmentation"]
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Which constraint families to generate, and in which form.
+
+    Attributes:
+        uniqueness_eq: strict uniqueness (``= 1``) vs relaxed
+            (``<= 1``).  The relaxed form yields partial assignments
+            (paper Section 6.3, Table 4 note *d*).
+        positions_eq: strict (``= 1``) vs relaxed (``<= 1``) position
+            constraints.
+        position_constraints: generate position constraints at all
+            (ablation knob).
+        ordering_constraints: generate the horizontal-layout ordering
+            constraints.  OFF by default: the paper's constraint list
+            (Sections 4.1-4.2) contains only uniqueness,
+            consecutiveness and position constraints; ordering is this
+            library's optional extension (the premise is stated in
+            Section 3.2) and is ablated in the benchmarks.
+        max_pair_constraints: safety cap on the number of generated
+            pairwise constraints; ordering generation stops at the cap.
+    """
+
+    uniqueness_eq: bool = True
+    positions_eq: bool = True
+    position_constraints: bool = True
+    ordering_constraints: bool = False
+    max_pair_constraints: int = 200_000
+
+
+@dataclass
+class SegmentationCsp:
+    """A record-segmentation problem in pseudo-boolean form.
+
+    Attributes:
+        system: the constraint system.
+        var_of: ``(seq, record) -> variable index``.
+        pair_of: inverse of ``var_of``; ``pair_of[v] = (seq, record)``.
+        table: the observation table the problem was built from.
+        config: the encoder configuration used.
+    """
+
+    system: ConstraintSystem
+    var_of: dict[tuple[int, int], int]
+    pair_of: list[tuple[int, int]]
+    table: ObservationTable
+    config: EncoderConfig
+
+    def decode(self, assignment: list[int]) -> dict[int, int | None]:
+        """Map a variable assignment back to ``seq -> record`` (or None).
+
+        When the relaxed uniqueness form lets an extract appear in
+        several records (it should not, but a best-effort local-search
+        assignment may), the lowest record wins deterministically.
+        """
+        result: dict[int, int | None] = {
+            observation.seq: None for observation in self.table.observations
+        }
+        for var, (seq, record) in enumerate(self.pair_of):
+            if assignment[var] == 1 and (
+                result[seq] is None or record < result[seq]  # type: ignore[operator]
+            ):
+                result[seq] = record
+        return result
+
+
+def encode_segmentation(
+    table: ObservationTable, config: EncoderConfig | None = None
+) -> SegmentationCsp:
+    """Encode ``table`` into a :class:`SegmentationCsp`.
+
+    Raises:
+        EmptyProblemError: the table has no usable observations.
+    """
+    config = config or EncoderConfig()
+    if not table.observations:
+        raise EmptyProblemError("no observations to segment")
+
+    var_of: dict[tuple[int, int], int] = {}
+    pair_of: list[tuple[int, int]] = []
+    var_names: list[str] = []
+    for observation in table.observations:
+        for record in sorted(observation.detail_pages):
+            var_of[(observation.seq, record)] = len(pair_of)
+            pair_of.append((observation.seq, record))
+            var_names.append(f"x[{observation.seq},{record}]")
+
+    system = ConstraintSystem(num_vars=len(pair_of), var_names=var_names)
+    _add_uniqueness(system, table, var_of, config)
+    _add_consecutiveness(system, table, var_of, config)
+    if config.position_constraints:
+        _add_positions(system, table, var_of, config)
+    if config.ordering_constraints:
+        _add_ordering(system, table, var_of, config)
+
+    return SegmentationCsp(
+        system=system,
+        var_of=var_of,
+        pair_of=pair_of,
+        table=table,
+        config=config,
+    )
+
+
+def _add_uniqueness(
+    system: ConstraintSystem,
+    table: ObservationTable,
+    var_of: dict[tuple[int, int], int],
+    config: EncoderConfig,
+) -> None:
+    relation = Relation.EQ if config.uniqueness_eq else Relation.LE
+    for observation in table.observations:
+        terms = [
+            (1, var_of[(observation.seq, record)])
+            for record in sorted(observation.detail_pages)
+        ]
+        system.add(terms, relation, 1, label=f"uniq[{observation.seq}]")
+
+
+def _candidate_runs(candidates: list[int]) -> list[list[int]]:
+    """Split sorted candidate sequence indices into maximal runs of
+    consecutive integers."""
+    runs: list[list[int]] = []
+    for seq in candidates:
+        if runs and seq == runs[-1][-1] + 1:
+            runs[-1].append(seq)
+        else:
+            runs.append([seq])
+    return runs
+
+
+def _add_consecutiveness(
+    system: ConstraintSystem,
+    table: ObservationTable,
+    var_of: dict[tuple[int, int], int],
+    config: EncoderConfig,
+) -> None:
+    budget = config.max_pair_constraints
+    for record in range(table.detail_count):
+        candidates = table.candidates_for_record(record)
+        if len(candidates) < 2:
+            continue
+        runs = _candidate_runs(candidates)
+        # Across runs: the gap between runs contains at least one
+        # extract that can never join this record, so picking from two
+        # different runs would leave a hole.
+        for a_index in range(len(runs)):
+            for b_index in range(a_index + 1, len(runs)):
+                for seq_a in runs[a_index]:
+                    for seq_b in runs[b_index]:
+                        if budget <= 0:
+                            break
+                        system.add(
+                            [
+                                (1, var_of[(seq_a, record)]),
+                                (1, var_of[(seq_b, record)]),
+                            ],
+                            Relation.LE,
+                            1,
+                            label=f"consec[{record}]",
+                        )
+                        budget -= 1
+        # Within a run: the paper's triple form forbids holes.
+        for run in runs:
+            for left in range(len(run)):
+                for right in range(left + 2, len(run)):
+                    for middle in range(left + 1, right):
+                        if budget <= 0:
+                            break
+                        system.add(
+                            [
+                                (1, var_of[(run[left], record)]),
+                                (1, var_of[(run[right], record)]),
+                                (-1, var_of[(run[middle], record)]),
+                            ],
+                            Relation.LE,
+                            1,
+                            label=f"consec[{record}]",
+                        )
+                        budget -= 1
+
+
+def _add_positions(
+    system: ConstraintSystem,
+    table: ObservationTable,
+    var_of: dict[tuple[int, int], int],
+    config: EncoderConfig,
+) -> None:
+    relation = Relation.EQ if config.positions_eq else Relation.LE
+    for group in table.position_groups(min_size=2):
+        terms = [
+            (1, var_of[(seq, group.detail_page)]) for seq in group.members
+        ]
+        system.add(
+            terms,
+            relation,
+            1,
+            label=f"pos[{group.detail_page},{group.position}]",
+        )
+
+
+def _add_ordering(
+    system: ConstraintSystem,
+    table: ObservationTable,
+    var_of: dict[tuple[int, int], int],
+    config: EncoderConfig,
+) -> None:
+    budget = config.max_pair_constraints
+    observations = table.observations
+    for a_position, observation_a in enumerate(observations):
+        for observation_b in observations[a_position + 1 :]:
+            for record_a in observation_a.detail_pages:
+                for record_b in observation_b.detail_pages:
+                    if record_a <= record_b:
+                        continue
+                    if budget <= 0:
+                        return
+                    system.add(
+                        [
+                            (1, var_of[(observation_a.seq, record_a)]),
+                            (1, var_of[(observation_b.seq, record_b)]),
+                        ],
+                        Relation.LE,
+                        1,
+                        label="order",
+                    )
+                    budget -= 1

@@ -1,0 +1,93 @@
+"""The constraint-relaxation ladder (paper Sections 4.1, 6.3).
+
+When the strict problem is unsatisfiable — which the paper observed on
+sites with list/detail inconsistencies (Michigan's "Parole"/"Parolee",
+Minnesota's case mismatch, Canada411's missing town) — the constraints
+are relaxed "by replacing equalities with inequalities", producing a
+*partial* solution ("not every extract was assigned to a record").
+
+The ladder has three rungs:
+
+1. **STRICT** — uniqueness ``= 1``, positions ``= 1``.
+2. **RELAXED_POSITIONS** — positions become ``<= 1`` (a detail-page
+   position may go unexplained), uniqueness still ``= 1``.
+3. **RELAXED** — uniqueness becomes ``<= 1`` as well: an extract may be
+   left out of every record.  This rung is always satisfiable (the
+   empty assignment), so the segmenter adds *soft* assign-me
+   constraints making the solver return the largest consistent partial
+   assignment instead of the trivial one.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.csp.constraints import Relation
+from repro.csp.encoder import EncoderConfig, SegmentationCsp, encode_segmentation
+from repro.extraction.observations import ObservationTable
+
+__all__ = ["RelaxationLevel", "encode_at_level"]
+
+
+class RelaxationLevel(enum.IntEnum):
+    """Rungs of the relaxation ladder, in climbing order."""
+
+    STRICT = 0
+    RELAXED_POSITIONS = 1
+    RELAXED = 2
+
+    @property
+    def is_relaxed(self) -> bool:
+        """Anything above STRICT counts as relaxed (Table 4 note *d*)."""
+        return self is not RelaxationLevel.STRICT
+
+
+#: Soft-constraint weight for the assign-me objective.  Any positive
+#: value works — hard constraints dominate lexicographically.
+_SOFT_ASSIGN_WEIGHT = 1.0
+
+
+def encode_at_level(
+    table: ObservationTable,
+    level: RelaxationLevel,
+    base: EncoderConfig | None = None,
+    soft_assign: bool = True,
+) -> SegmentationCsp:
+    """Encode ``table`` with the constraint forms of ``level``.
+
+    ``base`` carries the level-independent knobs (ordering constraints,
+    caps); its equality flags are overridden by the level.
+
+    ``soft_assign`` controls whether the fully relaxed rung carries the
+    soft assign-me objective.  With it off, the relaxed problem is a
+    pure satisfaction problem whose solutions can be arbitrarily sparse
+    — the behaviour the paper reports ("the solution corresponded to a
+    partial assignment"); with it on (default), the solver returns the
+    *largest* consistent partial assignment.
+    """
+    base = base or EncoderConfig()
+    config = EncoderConfig(
+        uniqueness_eq=level < RelaxationLevel.RELAXED,
+        positions_eq=level < RelaxationLevel.RELAXED_POSITIONS,
+        position_constraints=base.position_constraints,
+        ordering_constraints=base.ordering_constraints,
+        max_pair_constraints=base.max_pair_constraints,
+    )
+    problem = encode_segmentation(table, config)
+
+    if level is RelaxationLevel.RELAXED and soft_assign:
+        # Soft objective: prefer assigning each extract somewhere.
+        for observation in table.observations:
+            terms = [
+                (1, problem.var_of[(observation.seq, record)])
+                for record in sorted(observation.detail_pages)
+            ]
+            problem.system.add(
+                terms,
+                Relation.GE,
+                1,
+                weight=_SOFT_ASSIGN_WEIGHT,
+                hard=False,
+                label=f"assign[{observation.seq}]",
+            )
+    return problem

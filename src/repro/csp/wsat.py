@@ -1,0 +1,308 @@
+"""A WSAT(OIP)-style local-search solver for pseudo-boolean systems.
+
+The paper solves its constraints "using WSAT(OIP), an integer
+optimization algorithm" (Walser, *Integer Optimization by Local
+Search*, LNCS 1637).  WSAT(OIP) generalizes WalkSAT from clauses to
+over-constrained integer programs: it repeatedly picks a violated
+constraint and flips one of its variables, choosing greedily by score
+(total weighted violation) with a noise probability of a random move,
+a short tabu memory, and restarts.
+
+This implementation follows that recipe:
+
+* **score** — weighted sum of constraint violations, updated
+  incrementally per flip;
+* **move selection** — pick a violated constraint uniformly at random;
+  with probability ``noise`` flip a random variable of it, otherwise
+  flip the variable giving the best score delta, ties broken at
+  random, skipping tabu variables unless they beat the best score seen
+  (aspiration);
+* **initialization** — a problem-aware seed assignment can be supplied
+  (the segmenter seeds each extract into one random record of its
+  ``D_i``, so uniqueness starts satisfied); otherwise all-zeros;
+* **restarts** — independent reseeded tries, keeping the best
+  assignment across tries.
+
+The solver is deterministic given its ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.csp.constraints import ConstraintSystem, Relation
+
+__all__ = ["WsatConfig", "WsatResult", "WsatSolver"]
+
+
+@dataclass(frozen=True)
+class WsatConfig:
+    """Local-search parameters.
+
+    Attributes:
+        max_flips: flip budget per restart.
+        max_restarts: number of independent tries.
+        noise: probability of a random (non-greedy) move.
+        tabu_tenure: flips during which a just-flipped variable is
+            tabu (0 disables tabu).
+        seed: RNG seed; the solver is deterministic given it.
+    """
+
+    max_flips: int = 25_000
+    max_restarts: int = 4
+    noise: float = 0.12
+    tabu_tenure: int = 8
+    seed: int = 0
+
+
+@dataclass
+class WsatResult:
+    """Outcome of a solve call.
+
+    Attributes:
+        assignment: best assignment found (always complete).
+        satisfied: whether the best assignment satisfies every *hard*
+            constraint (soft constraints are an optimization target
+            only).
+        best_violation: weighted hard violation of the best assignment.
+        best_soft_violation: weighted soft violation of the best
+            assignment.
+        flips: total flips spent across restarts.
+        restarts: restarts actually performed.
+        elapsed: wall-clock seconds.
+    """
+
+    assignment: list[int]
+    satisfied: bool
+    best_violation: float
+    best_soft_violation: float
+    flips: int
+    restarts: int
+    elapsed: float
+
+
+class WsatSolver:
+    """Solve one :class:`ConstraintSystem` by WSAT(OIP)-style search."""
+
+    def __init__(
+        self, system: ConstraintSystem, config: WsatConfig | None = None
+    ) -> None:
+        self.system = system
+        self.config = config or WsatConfig()
+        # Compiled representation.
+        self._terms: list[tuple[tuple[int, int], ...]] = [
+            constraint.terms for constraint in system.constraints
+        ]
+        self._bounds = [constraint.bound for constraint in system.constraints]
+        self._relations = [
+            constraint.relation for constraint in system.constraints
+        ]
+        self._weights = [constraint.weight for constraint in system.constraints]
+        self._hard = [constraint.hard for constraint in system.constraints]
+        self._var_constraints: list[list[tuple[int, int]]] = [
+            [] for _ in range(system.num_vars)
+        ]
+        for constraint_id, terms in enumerate(self._terms):
+            for coef, var in terms:
+                self._var_constraints[var].append((constraint_id, coef))
+
+    # -- public API ------------------------------------------------------
+
+    def solve(self, initial: list[int] | None = None) -> WsatResult:
+        """Run the search; ``initial`` seeds the first restart.
+
+        The best assignment is tracked lexicographically: first by hard
+        violation, then by soft violation — a hard-feasible assignment
+        with worse soft score always beats a hard-infeasible one.
+        """
+        start_time = time.perf_counter()
+        rng = random.Random(self.config.seed)
+
+        best_assignment: list[int] = (
+            list(initial) if initial else [0] * self.system.num_vars
+        )
+        best_key = (float("inf"), float("inf"))
+        total_flips = 0
+        restarts_done = 0
+
+        for restart in range(max(1, self.config.max_restarts)):
+            restarts_done = restart + 1
+            if restart == 0 and initial is not None:
+                assignment = list(initial)
+            else:
+                assignment = self._random_assignment(rng)
+            key, flips = self._search(assignment, rng, best_key)
+            total_flips += flips
+            if key < best_key:
+                best_key = key
+                best_assignment = list(assignment)
+            if best_key == (0.0, 0.0):
+                break
+
+        return WsatResult(
+            assignment=best_assignment,
+            satisfied=best_key[0] == 0,
+            best_violation=best_key[0],
+            best_soft_violation=best_key[1],
+            flips=total_flips,
+            restarts=restarts_done,
+            elapsed=time.perf_counter() - start_time,
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _random_assignment(self, rng: random.Random) -> list[int]:
+        return [rng.randint(0, 1) for _ in range(self.system.num_vars)]
+
+    def _violation_of(self, constraint_id: int, lhs: int) -> int:
+        bound = self._bounds[constraint_id]
+        relation = self._relations[constraint_id]
+        if relation is Relation.LE:
+            return lhs - bound if lhs > bound else 0
+        if relation is Relation.GE:
+            return bound - lhs if lhs < bound else 0
+        return abs(lhs - bound)
+
+    def _search(
+        self,
+        assignment: list[int],
+        rng: random.Random,
+        global_best: tuple[float, float],
+    ) -> tuple[tuple[float, float], int]:
+        """One restart: local search from ``assignment`` (mutated in place).
+
+        Returns ((best hard, best soft) violation reached, flips used).
+        ``assignment`` holds the best state of this restart on return.
+        """
+        num_constraints = len(self._terms)
+        lhs = [0] * num_constraints
+        for constraint_id, terms in enumerate(self._terms):
+            lhs[constraint_id] = sum(coef * assignment[var] for coef, var in terms)
+
+        violations = [
+            self._violation_of(constraint_id, lhs[constraint_id])
+            for constraint_id in range(num_constraints)
+        ]
+        hard_score = 0.0
+        soft_score = 0.0
+        for constraint_id in range(num_constraints):
+            amount = self._weights[constraint_id] * violations[constraint_id]
+            if self._hard[constraint_id]:
+                hard_score += amount
+            else:
+                soft_score += amount
+
+        # Violated-constraint pool with O(1) add/remove.
+        unsat_list: list[int] = []
+        unsat_pos: dict[int, int] = {}
+        for constraint_id, amount in enumerate(violations):
+            if amount > 0:
+                unsat_pos[constraint_id] = len(unsat_list)
+                unsat_list.append(constraint_id)
+
+        last_flip = [-(10**9)] * self.system.num_vars
+        best_key = (hard_score, soft_score)
+        best_state = list(assignment)
+        tenure = self.config.tabu_tenure
+        noise = self.config.noise
+        # Hard constraints dominate soft ones in the flip score by a
+        # factor large enough that no realistic soft mass overturns a
+        # hard unit.
+        hard_factor = 1000.0
+
+        def flip_delta(var: int) -> float:
+            direction = 1 - 2 * assignment[var]
+            delta = 0.0
+            for constraint_id, coef in self._var_constraints[var]:
+                new_lhs = lhs[constraint_id] + coef * direction
+                change = self._weights[constraint_id] * (
+                    self._violation_of(constraint_id, new_lhs)
+                    - violations[constraint_id]
+                )
+                delta += change * (hard_factor if self._hard[constraint_id] else 1.0)
+            return delta
+
+        def apply_flip(var: int) -> None:
+            nonlocal hard_score, soft_score
+            direction = 1 - 2 * assignment[var]
+            assignment[var] ^= 1
+            for constraint_id, coef in self._var_constraints[var]:
+                new_lhs = lhs[constraint_id] + coef * direction
+                old_violation = violations[constraint_id]
+                new_violation = self._violation_of(constraint_id, new_lhs)
+                lhs[constraint_id] = new_lhs
+                if new_violation != old_violation:
+                    change = self._weights[constraint_id] * (
+                        new_violation - old_violation
+                    )
+                    if self._hard[constraint_id]:
+                        hard_score += change
+                    else:
+                        soft_score += change
+                    violations[constraint_id] = new_violation
+                    if old_violation == 0 and new_violation > 0:
+                        unsat_pos[constraint_id] = len(unsat_list)
+                        unsat_list.append(constraint_id)
+                    elif old_violation > 0 and new_violation == 0:
+                        index = unsat_pos.pop(constraint_id)
+                        mover = unsat_list[-1]
+                        unsat_list[index] = mover
+                        unsat_list.pop()
+                        if mover != constraint_id:
+                            unsat_pos[mover] = index
+
+        for flip in range(self.config.max_flips):
+            if not unsat_list:
+                return (0.0, 0.0), flip
+            constraint_id = unsat_list[rng.randrange(len(unsat_list))]
+            variables = [var for _, var in self._terms[constraint_id]]
+            if rng.random() < noise:
+                chosen = variables[rng.randrange(len(variables))]
+            else:
+                current_weighted = hard_score * hard_factor + soft_score
+                best_global = min(best_key, global_best)
+                aspiration = best_global[0] * hard_factor + best_global[1]
+                chosen = self._greedy_pick(
+                    variables, flip, last_flip, tenure, flip_delta,
+                    current_weighted, aspiration, rng,
+                )
+            apply_flip(chosen)
+            last_flip[chosen] = flip
+            key = (hard_score, soft_score)
+            if key < best_key:
+                best_key = key
+                best_state = list(assignment)
+
+        assignment[:] = best_state
+        return best_key, self.config.max_flips
+
+    @staticmethod
+    def _greedy_pick(
+        variables: list[int],
+        flip: int,
+        last_flip: list[int],
+        tenure: int,
+        flip_delta,
+        score: float,
+        aspiration_target: float,
+        rng: random.Random,
+    ) -> int:
+        """Best-delta variable of a violated constraint, with tabu."""
+        best_vars: list[int] = []
+        best_delta = float("inf")
+        for var in variables:
+            delta = flip_delta(var)
+            tabu = tenure > 0 and flip - last_flip[var] <= tenure
+            if tabu and score + delta >= aspiration_target:
+                continue
+            if delta < best_delta:
+                best_delta = delta
+                best_vars = [var]
+            elif delta == best_delta:
+                best_vars.append(var)
+        if not best_vars:
+            # Everything tabu without aspiration: fall back to random.
+            return variables[rng.randrange(len(variables))]
+        return best_vars[rng.randrange(len(best_vars))]

@@ -1,0 +1,20 @@
+"""Extract + observation substrate (paper Section 3.2)."""
+
+from repro.extraction.extracts import Extract, extract_strings
+from repro.extraction.matching import MatchOptions, PageIndex, find_occurrences
+from repro.extraction.observations import (
+    Observation,
+    ObservationTable,
+    PositionGroup,
+)
+
+__all__ = [
+    "Extract",
+    "MatchOptions",
+    "Observation",
+    "ObservationTable",
+    "PageIndex",
+    "PositionGroup",
+    "extract_strings",
+    "find_occurrences",
+]

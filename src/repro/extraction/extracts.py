@@ -1,0 +1,102 @@
+"""Extract extraction (paper Section 3.2).
+
+    "We extract, from the slot we believe to contain the table, the
+    contiguous sequences of tokens that do not contain separators.
+    Separators are HTML tags and special punctuation characters (any
+    character that is not in the set ``.,()-``).  Practically speaking,
+    we end up with all visible strings in the table.  We call these
+    sequences extracts, E = {E_1, E_2, ..., E_N}."
+
+An :class:`Extract` is therefore a maximal run of non-separator tokens
+in a table region's token stream, identified by its position ``index``
+on the list page (the same string occurring twice yields two distinct
+extracts, as in the paper's Table 1 where "John Smith" is both E_1 and
+E_5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.template.table_slot import TableRegion
+from repro.tokens.tokenizer import DEFAULT_ALLOWED_PUNCT, Token, is_separator
+
+__all__ = ["Extract", "extract_strings"]
+
+
+@dataclass(frozen=True)
+class Extract:
+    """One extract: a maximal separator-free token run on a list page.
+
+    Attributes:
+        index: position of the extract in the list page's extract
+            sequence (the ``i`` of ``E_i``, 0-based).
+        tokens: the extract's tokens, in stream order.
+        start_token_index: index of the first token in the full page
+            token stream (used for ordering and diagnostics).
+    """
+
+    index: int
+    tokens: tuple[Token, ...]
+    start_token_index: int
+
+    @property
+    def texts(self) -> tuple[str, ...]:
+        """The token texts; this is the extract's matching key."""
+        return tuple(token.text for token in self.tokens)
+
+    @property
+    def text(self) -> str:
+        """Human-readable rendering of the extract."""
+        pieces: list[str] = []
+        for position, token in enumerate(self.tokens):
+            if position > 0 and token.ws_before:
+                pieces.append(" ")
+            pieces.append(token.text)
+        return "".join(pieces)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+def extract_strings(
+    region: TableRegion | list[Token],
+    allowed_punct: frozenset[str] = DEFAULT_ALLOWED_PUNCT,
+) -> list[Extract]:
+    """Split a table region into its extracts.
+
+    Accepts either a :class:`TableRegion` or a bare token list (handy
+    for tests).  Pure-punctuation runs (e.g. a lone ``-`` between
+    separators) are dropped: they carry no content to match against
+    detail pages.
+
+    >>> from repro.tokens.tokenizer import tokenize_html
+    >>> [e.text for e in extract_strings(tokenize_html(
+    ...     "<tr><td>John Smith</td><td>(740) 335-5555</td></tr>"))]
+    ['John Smith', '(740) 335-5555']
+    """
+    tokens = region.tokens if isinstance(region, TableRegion) else region
+    extracts: list[Extract] = []
+    run: list[Token] = []
+
+    def flush() -> None:
+        if run and any(not token.is_punct for token in run):
+            extracts.append(
+                Extract(
+                    index=len(extracts),
+                    tokens=tuple(run),
+                    start_token_index=run[0].index,
+                )
+            )
+        run.clear()
+
+    for token in tokens:
+        if is_separator(token, allowed_punct):
+            flush()
+        else:
+            run.append(token)
+    flush()
+    return extracts

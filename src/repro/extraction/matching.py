@@ -1,0 +1,121 @@
+"""Separator-tolerant matching of extracts against detail pages.
+
+The paper's footnote 1 defines the matcher:
+
+    "The string matching algorithm ignores intervening separators on
+    detail pages.  For example, a string 'FirstName LastName' on [a]
+    list page will be matched to 'FirstName <br>LastName' on the
+    detail page."
+
+Concretely: a detail page is reduced to its sequence of non-separator
+tokens, and an extract matches wherever its token-text sequence occurs
+contiguously in that reduced sequence.  Matching is **case-sensitive**
+by default — the paper reports that a case mismatch between list and
+detail values on the Minnesota Corrections site broke the match, which
+only happens under case-sensitive comparison.  A ``casefold`` option is
+provided for ablation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.tokens.tokenizer import DEFAULT_ALLOWED_PUNCT, Token, is_separator
+from repro.webdoc.page import Page
+
+__all__ = ["MatchOptions", "PageIndex", "find_occurrences"]
+
+
+@dataclass(frozen=True)
+class MatchOptions:
+    """Matching behaviour knobs.
+
+    Attributes:
+        casefold: compare token texts case-insensitively (ablation
+            only; the paper's matcher is case-sensitive).
+        allowed_punct: the punctuation set defining separators; must
+            agree with the tokenizer's.
+    """
+
+    casefold: bool = False
+    allowed_punct: frozenset[str] = DEFAULT_ALLOWED_PUNCT
+
+    def key(self, text: str) -> str:
+        """Normalize one token text for comparison."""
+        return text.casefold() if self.casefold else text
+
+
+class PageIndex:
+    """A detail page pre-processed for fast repeated matching.
+
+    Builds the reduced (separator-free) token sequence once, plus an
+    inverted index from first-token text to candidate start offsets, so
+    that matching N extracts against K pages is close to linear in the
+    number of true occurrences.
+    """
+
+    def __init__(self, page: Page, options: MatchOptions | None = None) -> None:
+        self.page = page
+        self.options = options or MatchOptions()
+        self._reduced: list[Token] = [
+            token
+            for token in page.tokens()
+            if not is_separator(token, self.options.allowed_punct)
+        ]
+        self._keys: list[str] = [
+            self.options.key(token.text) for token in self._reduced
+        ]
+        self._starts: dict[str, list[int]] = defaultdict(list)
+        for offset, key in enumerate(self._keys):
+            self._starts[key].append(offset)
+
+    @property
+    def reduced_tokens(self) -> list[Token]:
+        """The page's non-separator tokens, in order."""
+        return self._reduced
+
+    def occurrences(self, texts: tuple[str, ...]) -> list[int]:
+        """All start positions of ``texts`` in the reduced sequence.
+
+        Positions are reported as the *original* token index of the
+        occurrence's first token in the detail page's full stream —
+        this is the paper's ``pos_j^k`` (Table 3).
+        """
+        if not texts:
+            return []
+        keys = [self.options.key(text) for text in texts]
+        length = len(keys)
+        positions: list[int] = []
+        for start in self._starts.get(keys[0], ()):
+            if start + length > len(self._keys):
+                continue
+            if self._keys[start : start + length] == keys:
+                positions.append(self._reduced[start].index)
+        return positions
+
+    def contains(self, texts: tuple[str, ...]) -> bool:
+        """Does the page contain ``texts`` at least once?"""
+        return bool(self.occurrences(texts))
+
+
+def find_occurrences(
+    texts: tuple[str, ...],
+    pages: list[Page],
+    options: MatchOptions | None = None,
+) -> dict[int, list[int]]:
+    """Occurrences of a token-text sequence on each of ``pages``.
+
+    Convenience wrapper for one-off queries; bulk matching should build
+    :class:`PageIndex` objects once and reuse them.
+
+    Returns a mapping from page index to start positions (empty pages
+    are omitted).
+    """
+    options = options or MatchOptions()
+    result: dict[int, list[int]] = {}
+    for page_number, page in enumerate(pages):
+        positions = PageIndex(page, options).occurrences(texts)
+        if positions:
+            result[page_number] = positions
+    return result

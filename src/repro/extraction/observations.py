@@ -1,0 +1,194 @@
+"""The observation table (paper Tables 1 and 3).
+
+For each extract ``E_i`` of a list page, this module records the detail
+pages on which it occurs (the set ``D_i``) and the position of every
+occurrence (``pos_j^k``), after applying the paper's usefulness filter:
+
+    "If an extract appears in all the list pages or in all the detail
+    pages, it is ignored: such extracts will not contribute useful
+    information to the record segmentation task."
+
+Extracts that match *no* detail page get an empty ``D_i``; they are not
+part of the segmentation problem but remain available to the pipeline,
+which attaches them to the record of the last assigned extract
+(Section 6.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.extraction.extracts import Extract
+from repro.extraction.matching import MatchOptions, PageIndex
+from repro.webdoc.page import Page
+
+__all__ = ["Observation", "ObservationTable", "PositionGroup"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One extract that survived the filters, with its evidence.
+
+    Attributes:
+        extract: the underlying extract.
+        seq: index of this observation in the *used* sequence (this is
+            the ``i`` the segmenters reason over; it differs from
+            ``extract.index`` whenever earlier extracts were filtered).
+        detail_pages: the set ``D_i`` of detail-page indices (0-based)
+            on which the extract occurs.
+        positions: for each detail page in ``D_i``, the start positions
+            (full-stream token indices) of every occurrence there.
+    """
+
+    extract: Extract
+    seq: int
+    detail_pages: frozenset[int]
+    positions: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PositionGroup:
+    """All used observations sharing one (detail page, position) cell.
+
+    The paper's position constraints (Section 4.2) are generated one
+    per group: the extracts observed at the same position on detail
+    page ``j`` compete for assignment to record ``r_j``.
+    """
+
+    detail_page: int
+    position: int
+    members: tuple[int, ...]  #: ``seq`` indices of the observations
+
+
+@dataclass
+class ObservationTable:
+    """The complete observation evidence for one list page.
+
+    Attributes:
+        extracts: every extract of the table region, in page order.
+        observations: the used observations, in page order.
+        detail_count: ``K``, the number of detail pages (= records).
+        ignored_all_lists: extracts dropped because they occur on every
+            list page of the sample (page-template junk).
+        ignored_all_details: extracts dropped because they occur on
+            every detail page ("More Info"-style boilerplate).
+        unmatched: extracts occurring on no detail page.
+    """
+
+    extracts: list[Extract]
+    observations: list[Observation]
+    detail_count: int
+    ignored_all_lists: list[Extract] = field(default_factory=list)
+    ignored_all_details: list[Extract] = field(default_factory=list)
+    unmatched: list[Extract] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        extracts: list[Extract],
+        detail_pages: list[Page],
+        other_list_pages: list[Page] | None = None,
+        options: MatchOptions | None = None,
+    ) -> "ObservationTable":
+        """Match ``extracts`` against ``detail_pages`` and filter.
+
+        Args:
+            extracts: the list page's extracts, in order.
+            detail_pages: the detail pages reached from the list page,
+                in link order — index ``j`` is record ``r_j``.
+            other_list_pages: the *other* sample list pages, used for
+                the appears-on-all-list-pages filter.
+            options: matching options (case sensitivity etc.).
+        """
+        options = options or MatchOptions()
+        detail_indexes = [PageIndex(page, options) for page in detail_pages]
+        other_indexes = [
+            PageIndex(page, options) for page in (other_list_pages or [])
+        ]
+
+        table = cls(
+            extracts=list(extracts),
+            observations=[],
+            detail_count=len(detail_pages),
+        )
+
+        for extract in extracts:
+            texts = extract.texts
+            positions: dict[int, tuple[int, ...]] = {}
+            for page_number, page_index in enumerate(detail_indexes):
+                found = page_index.occurrences(texts)
+                if found:
+                    positions[page_number] = tuple(found)
+
+            # The appears-on-all-detail-pages filter needs at least two
+            # detail pages to be meaningful; with one, it would drop
+            # every matching extract.
+            if len(detail_pages) >= 2 and len(positions) == len(detail_pages):
+                table.ignored_all_details.append(extract)
+                continue
+            if other_indexes and all(
+                index.contains(texts) for index in other_indexes
+            ):
+                table.ignored_all_lists.append(extract)
+                continue
+            if not positions:
+                table.unmatched.append(extract)
+                continue
+
+            table.observations.append(
+                Observation(
+                    extract=extract,
+                    seq=len(table.observations),
+                    detail_pages=frozenset(positions),
+                    positions=positions,
+                )
+            )
+        return table
+
+    def candidates_for_record(self, record: int) -> list[int]:
+        """The ``seq`` indices of observations whose ``D_i`` contains
+        ``record`` — the only extracts assignable to that record."""
+        return [
+            observation.seq
+            for observation in self.observations
+            if record in observation.detail_pages
+        ]
+
+    def position_groups(self, min_size: int = 1) -> list[PositionGroup]:
+        """Group used observations by (detail page, position) cell.
+
+        Args:
+            min_size: only return groups with at least this many
+                members (constraint generation uses the default 1,
+                since even a singleton group pins its extract).
+        """
+        cells: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for observation in self.observations:
+            for page_number, starts in observation.positions.items():
+                for start in starts:
+                    cells[(page_number, start)].append(observation.seq)
+        groups = [
+            PositionGroup(
+                detail_page=page_number,
+                position=start,
+                members=tuple(sorted(members)),
+            )
+            for (page_number, start), members in sorted(cells.items())
+            if len(members) >= min_size
+        ]
+        return groups
+
+    @property
+    def used_count(self) -> int:
+        """Number of observations the segmenters will reason over."""
+        return len(self.observations)
+
+    def summary(self) -> str:
+        """One-line diagnostic summary."""
+        return (
+            f"{len(self.extracts)} extracts: {self.used_count} used, "
+            f"{len(self.ignored_all_details)} on all detail pages, "
+            f"{len(self.ignored_all_lists)} on all list pages, "
+            f"{len(self.unmatched)} unmatched; K={self.detail_count}"
+        )

@@ -1,0 +1,106 @@
+"""MAP decoding (Viterbi) over the segmentation lattice.
+
+    "As is commonly done in probabilistic models for sequence data, we
+    compute maximum a posteriori (MAP) probability for R and C and use
+    this as our segmentation: argmax P(R, C | T, D)."  (Section 5.1)
+
+Linear-space Viterbi with per-step max-renormalization (only the
+argmax matters, so rescaling by a positive constant each step is
+safe).  Backpointers are recovered vectorized: after the per-state max
+is computed, the edges attaining it are identified by exact equality
+against the max of their destination (both sides come from the same
+array, so the comparison is exact), and the smallest such edge id wins
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import InferenceError
+from repro.prob.lattice import Lattice
+from repro.prob.model import ModelParams
+
+__all__ = ["DecodeResult", "viterbi"]
+
+
+@dataclass
+class DecodeResult:
+    """The MAP assignment.
+
+    Attributes:
+        records: [N] record number ``R_i`` per observation.
+        columns: [N] column label ``C_i`` per observation.
+        lengths: [N] running field count ``p_i`` (zeros when the
+            period model is off).
+        states: [N] raw lattice state ids of the MAP path.
+    """
+
+    records: np.ndarray
+    columns: np.ndarray
+    lengths: np.ndarray
+    states: np.ndarray
+
+
+def viterbi(lattice: Lattice, params: ModelParams) -> DecodeResult:
+    """Compute the MAP state path.
+
+    Raises:
+        InferenceError: no positive-probability path exists (cannot
+            happen with positive ``d_epsilon``).
+    """
+    emissions = lattice.emissions(params)
+    weights = lattice.edge_weights(params)
+    final = lattice.final_weights(params)
+    src = lattice.edge_src
+    dst = lattice.edge_dst
+    n_steps, n_states = emissions.shape
+    n_edges = lattice.n_edges
+
+    delta = lattice.init_w * emissions[0]
+    peak = delta.max()
+    if peak <= 0:
+        raise InferenceError("no feasible start state")
+    delta = delta / peak
+
+    backpointers = np.full((n_steps, n_states), -1, dtype=np.int64)
+    edge_ids = np.arange(n_edges)
+
+    for step in range(1, n_steps):
+        contrib = delta[src] * weights
+        best = np.zeros(n_states)
+        np.maximum.at(best, dst, contrib)
+
+        # Edges attaining the per-destination max; smallest id wins.
+        attained = (contrib == best[dst]) & (contrib > 0)
+        chosen = np.full(n_states, n_edges, dtype=np.int64)
+        np.minimum.at(chosen, dst[attained], edge_ids[attained])
+        backpointers[step] = np.where(chosen < n_edges, chosen, -1)
+
+        delta = best * emissions[step]
+        peak = delta.max()
+        if peak <= 0:
+            raise InferenceError(f"no feasible path at step {step}")
+        delta = delta / peak
+
+    final_scores = delta * final
+    last_state = int(np.argmax(final_scores))
+    if final_scores[last_state] <= 0:
+        raise InferenceError("no feasible terminal state")
+
+    states = np.zeros(n_steps, dtype=np.int64)
+    states[-1] = last_state
+    for step in range(n_steps - 1, 0, -1):
+        edge = backpointers[step, states[step]]
+        if edge < 0:
+            raise InferenceError(f"broken backpointer at step {step}")
+        states[step - 1] = src[edge]
+
+    return DecodeResult(
+        records=lattice.state_r[states].copy(),
+        columns=lattice.state_c[states].copy(),
+        lengths=lattice.state_p[states].copy(),
+        states=states,
+    )

@@ -1,0 +1,148 @@
+"""Scaled forward-backward over the segmentation lattice (E-step).
+
+This is the paper's "variant of the forward-backward algorithm that
+exploits the hierarchical nature of the record segmentation problem"
+(Section 5.2.3): the lattice already encodes the record/column/period
+hierarchy, so a single pass computes exact posteriors.
+
+Scaling: the forward pass renormalizes ``alpha`` at every step and
+accumulates the log of the scale factors, giving the log-likelihood;
+state posteriors ``gamma_i`` and edge posteriors ``xi_i`` are
+normalized per step (each step has exactly one state / one transition
+event, so the per-step posteriors each sum to 1 — global scale factors
+cancel).
+
+Only the *sums over time* of the edge posteriors are returned: every
+M-step statistic (column transitions, record-end events, period
+counts) is a per-edge-category total, so the full ``[N, E]`` tensor is
+never materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import InferenceError
+from repro.prob.lattice import Lattice
+from repro.prob.model import ModelParams
+
+__all__ = ["ForwardBackwardResult", "forward_backward"]
+
+_TINY = 1e-300
+
+
+@dataclass
+class ForwardBackwardResult:
+    """Posteriors and sufficient statistics from one E-step.
+
+    Attributes:
+        log_likelihood: log P(observations | params).
+        gamma: [N, S] state posteriors per observation.
+        xi_edge_totals: [E] sum over steps of the edge posteriors.
+        end_gamma: [S] posterior of the final observation's state —
+            the end-of-sequence record-end event.
+    """
+
+    log_likelihood: float
+    gamma: np.ndarray
+    xi_edge_totals: np.ndarray
+    end_gamma: np.ndarray
+
+
+def forward_backward(
+    lattice: Lattice, params: ModelParams
+) -> ForwardBackwardResult:
+    """Run one scaled forward-backward pass.
+
+    Raises:
+        InferenceError: the lattice assigns zero probability to the
+            observations (cannot happen with a positive ``d_epsilon``
+            unless the model degenerated).
+    """
+    emissions = lattice.emissions(params)  # [N, S]
+    weights = lattice.edge_weights(params)  # [E]
+    final = lattice.final_weights(params)  # [S]
+    src = lattice.edge_src
+    dst = lattice.edge_dst
+
+    n_steps, n_states = emissions.shape
+    if n_steps == 0:
+        raise InferenceError("empty observation sequence")
+
+    # -- forward -----------------------------------------------------------
+    alpha = np.zeros((n_steps, n_states))
+    log_likelihood = 0.0
+
+    current = lattice.init_w * emissions[0]
+    scale = current.sum()
+    if scale <= _TINY:
+        raise InferenceError("zero forward mass at step 0")
+    current /= scale
+    log_likelihood += float(np.log(scale))
+    alpha[0] = current
+
+    for step in range(1, n_steps):
+        contrib = current[src] * weights
+        incoming = np.zeros(n_states)
+        np.add.at(incoming, dst, contrib)
+        current = incoming * emissions[step]
+        scale = current.sum()
+        if scale <= _TINY:
+            raise InferenceError(f"zero forward mass at step {step}")
+        current /= scale
+        log_likelihood += float(np.log(scale))
+        alpha[step] = current
+
+    termination = float((current * final).sum())
+    if termination <= _TINY:
+        raise InferenceError("zero termination mass")
+    log_likelihood += float(np.log(termination))
+
+    # -- backward ----------------------------------------------------------
+    beta = final.copy()
+    beta_scale = beta.sum()
+    if beta_scale <= _TINY:
+        raise InferenceError("zero backward mass at the final step")
+    beta /= beta_scale
+
+    gamma = np.zeros_like(alpha)
+    gamma_last = alpha[-1] * beta
+    total = gamma_last.sum()
+    gamma[-1] = gamma_last / total
+    end_gamma = gamma[-1].copy()
+
+    xi_edge_totals = np.zeros(lattice.n_edges)
+
+    for step in range(n_steps - 1, 0, -1):
+        # Edge posteriors for the transition (step-1 -> step).
+        edge_post = (
+            alpha[step - 1][src]
+            * weights
+            * emissions[step][dst]
+            * beta[dst]
+        )
+        edge_total = edge_post.sum()
+        if edge_total <= _TINY:
+            raise InferenceError(f"zero transition mass into step {step}")
+        xi_edge_totals += edge_post / edge_total
+
+        # Pull beta back one step.
+        outgoing = weights * emissions[step][dst] * beta[dst]
+        previous = np.zeros(n_states)
+        np.add.at(previous, src, outgoing)
+        beta_scale = previous.sum()
+        if beta_scale <= _TINY:
+            raise InferenceError(f"zero backward mass at step {step - 1}")
+        beta = previous / beta_scale
+
+        gamma_step = alpha[step - 1] * beta
+        gamma[step - 1] = gamma_step / gamma_step.sum()
+
+    return ForwardBackwardResult(
+        log_likelihood=log_likelihood,
+        gamma=gamma,
+        xi_edge_totals=xi_edge_totals,
+        end_gamma=end_gamma,
+    )

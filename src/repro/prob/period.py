@@ -1,0 +1,51 @@
+"""Record-period utilities (paper Section 5.2.2, Figure 3).
+
+The period π is the distribution over record lengths (number of
+fields in a record).  The hierarchical model conditions record-end
+decisions on the fields-so-far count through the *hazard*
+``h(p) = P(len = p | len >= p)``, implemented on
+:class:`~repro.prob.model.ModelParams`; this module provides the
+fitting and summary helpers shared by the bootstrap and the M-step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fit_period", "expected_length", "period_mode"]
+
+
+def fit_period(
+    length_counts: np.ndarray, k: int, smoothing: float = 0.5
+) -> np.ndarray:
+    """Normalize (expected) record-length counts into π.
+
+    Args:
+        length_counts: array of length >= k+1; index ``p`` holds the
+            (possibly fractional, from EM posteriors) count of records
+            of length ``p``.  Index 0 is ignored.
+        k: number of columns; lengths run 1..k.
+        smoothing: Laplace smoothing added to every length.
+
+    Returns:
+        [k+1] distribution with index 0 zero and indices 1..k summing
+        to 1.
+    """
+    period = np.zeros(k + 1)
+    counts = np.asarray(length_counts, dtype=float)
+    limit = min(len(counts), k + 1)
+    period[1:limit] = counts[1:limit]
+    period[1:] += smoothing
+    period[1:] /= period[1:].sum()
+    return period
+
+
+def expected_length(period: np.ndarray) -> float:
+    """Mean record length under π."""
+    lengths = np.arange(len(period))
+    return float((lengths * period).sum())
+
+
+def period_mode(period: np.ndarray) -> int:
+    """The most likely record length under π."""
+    return int(np.argmax(period[1:]) + 1)

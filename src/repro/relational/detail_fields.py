@@ -1,0 +1,96 @@
+"""Content-based label/value parsing of detail pages.
+
+Merging the two views of a record (paper Section 3: "we can
+potentially combine the two views to get a more complete view of the
+record") needs the detail pages parsed into attributes — without any
+per-site wrapper.  The same content redundancy that drives
+segmentation drives this parser:
+
+* a *label* is an extract that occurs on almost every detail page of
+  the site (labels come from the detail template: "Name:", "Phone:",
+  ...; "almost" because a record with a missing field drops that
+  field's label from its page);
+* a label's *value* on one page is the run of non-label extracts
+  immediately following it.
+
+This is deliberately the mirror image of the list-page filter (which
+*discards* extracts found on all detail pages as template junk — here
+they are exactly what we want).
+"""
+
+from __future__ import annotations
+
+from repro.extraction.extracts import extract_strings
+from repro.tokens.tokenizer import DEFAULT_ALLOWED_PUNCT
+from repro.webdoc.page import Page
+
+__all__ = ["detail_field_pairs"]
+
+
+def detail_field_pairs(
+    detail_pages: list[Page],
+    allowed_punct: frozenset[str] = DEFAULT_ALLOWED_PUNCT,
+    max_value_extracts: int = 3,
+    label_min_fraction: float = 0.8,
+) -> dict[int, dict[str, str]]:
+    """Parse every detail page into ``label -> value`` attributes.
+
+    Args:
+        detail_pages: the site's detail pages (>= 2 for the label
+            inference to be meaningful).
+        allowed_punct: the extract-punctuation set (must match the
+            tokenizer's).
+        max_value_extracts: how many consecutive non-label extracts
+            after a label are joined into its value.
+        label_min_fraction: an extract counts as a label when it
+            appears on at least this fraction of the detail pages
+            (missing fields keep some labels off some pages).
+
+    Returns:
+        ``{record index: {label: value}}``.  Labels appearing with no
+        following value on a page are omitted for that page.
+    """
+    per_page_extracts = [
+        extract_strings(list(page.tokens()), allowed_punct)
+        for page in detail_pages
+    ]
+
+    # Labels: extract texts present on (almost) every page.
+    if len(detail_pages) >= 2:
+        from collections import Counter
+
+        page_counts: Counter[str] = Counter()
+        for extracts in per_page_extracts:
+            page_counts.update({extract.text for extract in extracts})
+        needed = label_min_fraction * len(detail_pages)
+        label_texts = {
+            text for text, count in page_counts.items() if count >= needed
+        }
+    else:
+        label_texts = set()
+
+    fields: dict[int, dict[str, str]] = {}
+    for record_index, extracts in enumerate(per_page_extracts):
+        attributes: dict[str, str] = {}
+        position = 0
+        while position < len(extracts):
+            text = extracts[position].text
+            if text in label_texts:
+                values: list[str] = []
+                cursor = position + 1
+                while (
+                    cursor < len(extracts)
+                    and len(values) < max_value_extracts
+                    and extracts[cursor].text not in label_texts
+                ):
+                    values.append(extracts[cursor].text)
+                    cursor += 1
+                if values:
+                    # First label occurrence wins (later ones are
+                    # usually footer repetitions).
+                    attributes.setdefault(text, " ".join(values))
+                position = cursor
+            else:
+                position += 1
+        fields[record_index] = attributes
+    return fields

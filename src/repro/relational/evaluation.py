@@ -1,0 +1,104 @@
+"""Evaluating column assignments against ground-truth fields.
+
+The simulator knows which field each list-row value came from, so a
+column assignment can be scored by *purity*: within each predicted
+column, the fraction of cells whose true field matches the column's
+majority field.  Perfect column extraction puts every field in its own
+column (purity 1.0); merging two fields into one column, or splitting
+one field across columns, lowers it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.evaluation import truth_assignment
+from repro.core.results import Segmentation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sitegen.site import ListPageTruth
+
+__all__ = ["ColumnScore", "column_purity"]
+
+
+@dataclass
+class ColumnScore:
+    """Column-extraction quality.
+
+    Attributes:
+        purity: weighted mean majority-field fraction over columns.
+        columns: predicted column count.
+        fields: distinct true fields observed.
+        cells: scored (extract, column) cells.
+    """
+
+    purity: float
+    columns: int
+    fields: int
+    cells: int
+
+
+def _field_of(extract_text: str, row_values: dict[str, str]) -> str | None:
+    """The true field an extract came from, by value containment."""
+    for field_name, value in row_values.items():
+        if extract_text == value or extract_text in value or value in extract_text:
+            return field_name
+    return None
+
+
+def column_purity(
+    segmentation: Segmentation,
+    truth: "ListPageTruth",
+    columns: dict[int, int] | None = None,
+) -> ColumnScore:
+    """Score a column assignment against the generator's fields.
+
+    Args:
+        segmentation: a segmentation carrying column labels (or pass
+            ``columns`` explicitly, e.g. from the CSP assigner).
+        truth: the list page's ground truth.
+        columns: optional ``seq -> column`` override.
+    """
+    seq_truth = truth_assignment(segmentation.table, truth)
+    rows_by_index = {row.record_index: row for row in truth.rows}
+
+    by_column: dict[int, list[str]] = defaultdict(list)
+    fields_seen: set[str] = set()
+    for record in segmentation.records:
+        for position, observation in enumerate(record.observations):
+            if columns is not None:
+                column = columns.get(observation.seq)
+            elif record.columns is not None:
+                column = record.columns.get(observation.seq)
+            else:
+                column = position
+            if column is None:
+                continue
+            true_row_index = seq_truth.get(observation.seq)
+            if true_row_index is None:
+                continue
+            field_name = _field_of(
+                observation.extract.text,
+                rows_by_index[true_row_index].values,
+            )
+            if field_name is None:
+                continue
+            by_column[column].append(field_name)
+            fields_seen.add(field_name)
+
+    total_cells = sum(len(members) for members in by_column.values())
+    if total_cells == 0:
+        return ColumnScore(purity=0.0, columns=0, fields=0, cells=0)
+
+    weighted = 0.0
+    for members in by_column.values():
+        majority = Counter(members).most_common(1)[0][1]
+        weighted += majority
+    return ColumnScore(
+        purity=weighted / total_cells,
+        columns=len(by_column),
+        fields=len(fields_seen),
+        cells=total_cells,
+    )

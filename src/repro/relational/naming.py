@@ -1,0 +1,108 @@
+"""Semantic column naming from detail-page labels.
+
+Section 3.4 leaves column labels anonymous ("the column labels will be
+L_1, ..., L_k") and points at annotation systems for "more
+semantically meaningful labels".  The detail pages themselves carry
+the missing names: their templates label every attribute ("Owner:",
+"Phone:", ...).  Since column extraction already aligns list cells
+with records, a list column can be named after the detail label whose
+values it agrees with.
+
+:func:`name_columns` does exactly that: for every anonymous column,
+count value agreements against every detail label (via
+:func:`~repro.relational.detail_fields.detail_field_pairs` output) and
+adopt the majority label when it explains enough of the column.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.relational.table_builder import RelationalTable
+
+__all__ = ["name_columns", "apply_column_names"]
+
+
+def _agreement(cell: str, detail_value: str) -> float:
+    """Cell/detail agreement strength: exact equality scores 1.0,
+    containment either way 0.5 (detail pages may render the value with
+    extra context), otherwise 0."""
+    if not cell or not detail_value:
+        return 0.0
+    if cell == detail_value:
+        return 1.0
+    if cell in detail_value or detail_value in cell:
+        return 0.5
+    return 0.0
+
+
+def name_columns(
+    table: RelationalTable,
+    fields_per_record: dict[int, dict[str, str]],
+    min_support: float = 0.5,
+) -> dict[str, str]:
+    """Map anonymous column names (``L0``...) to detail labels.
+
+    Args:
+        table: the reconstructed relation (anonymous columns).
+        fields_per_record: detail label -> value per record id, from
+            :func:`~repro.relational.detail_fields.detail_field_pairs`.
+        min_support: a label must explain at least this fraction of a
+            column's non-empty cells to be adopted.
+
+    Returns:
+        ``{anonymous name: semantic label}`` for the columns that
+        earned a name.  Labels are never assigned twice; ties go to
+        the column with more support.
+    """
+    candidates: list[tuple[float, str, str]] = []
+    for column in table.columns:
+        if not column.startswith("L"):
+            continue
+        votes: Counter[str] = Counter()
+        filled = 0
+        for row in table.rows:
+            cell = row.get(column)
+            if cell is None:
+                continue
+            filled += 1
+            record_fields = fields_per_record.get(int(row["_record"]), {})
+            for label, value in record_fields.items():
+                votes[label] += _agreement(cell, value)
+        if not filled or not votes:
+            continue
+        label, count = votes.most_common(1)[0]
+        support = count / filled
+        if support >= min_support:
+            candidates.append((support, column, label))
+
+    names: dict[str, str] = {}
+    used: set[str] = set()
+    for support, column, label in sorted(candidates, reverse=True):
+        if column in names or label in used:
+            continue
+        names[column] = label
+        used.add(label)
+    return names
+
+
+def apply_column_names(
+    table: RelationalTable, names: dict[str, str]
+) -> None:
+    """Rename ``table``'s columns in place.
+
+    A renamed column replaces any existing merged-detail column of the
+    same label (the two carry the same attribute; the list view wins,
+    matching :meth:`RelationalTable.merge_detail_fields`).
+    """
+    renamed: list[str] = []
+    for column in table.columns:
+        target = names.get(column, column)
+        if target in renamed:
+            continue
+        renamed.append(target)
+    for row in table.rows:
+        for column, target in names.items():
+            if column in row:
+                row[target] = row.pop(column)
+    table.columns = renamed

@@ -1,0 +1,124 @@
+"""Assembling a relational table from a segmentation.
+
+A :class:`RelationalTable` is the "reconstructed database" view of one
+list page: one row per record, one column per label ``L_0..L_{k-1}``,
+cells holding extract texts.  Columns come from the segmentation's own
+labels (the probabilistic segmenter produces them natively, Section
+3.4) or from :class:`~repro.relational.csp_columns.CspColumnAssigner`
+for CSP segmentations.  Detail-only fields can be merged in as extra
+columns — the paper's "combine the two views" (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.results import Segmentation
+
+__all__ = ["RelationalTable", "build_table"]
+
+
+@dataclass
+class RelationalTable:
+    """One list page's records as a relation.
+
+    Attributes:
+        columns: ordered column names (``L0``, ``L1``, ... plus any
+            merged detail labels).
+        rows: one dict per record, keyed by column name; the special
+            key ``_record`` holds the record id.
+    """
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[dict[str, str]] = field(default_factory=list)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self.rows), len(self.columns))
+
+    def column_values(self, column: str) -> list[str]:
+        """All non-empty values of one column, in row order."""
+        return [row[column] for row in self.rows if column in row]
+
+    def merge_detail_fields(
+        self, fields_per_record: dict[int, dict[str, str]]
+    ) -> None:
+        """Add detail-page label/value pairs as extra columns.
+
+        Args:
+            fields_per_record: for each record id, the label -> value
+                mapping parsed from its detail page.  Labels become
+                columns (kept in first-seen order); existing cells are
+                not overwritten, so the list view wins where both
+                views carry the attribute.
+        """
+        for row in self.rows:
+            record_id = int(row["_record"])
+            for label, value in fields_per_record.get(record_id, {}).items():
+                if label not in self.columns:
+                    self.columns.append(label)
+                row.setdefault(label, value)
+
+    def render(self, cell_width: int = 16) -> str:
+        """ASCII rendering of the relation."""
+
+        def clip(text: str) -> str:
+            return (
+                text if len(text) <= cell_width else text[: cell_width - 1] + "…"
+            )
+
+        header = " | ".join(
+            clip(name).ljust(cell_width) for name in ["_record"] + self.columns
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                " | ".join(
+                    clip(row.get(name, "")).ljust(cell_width)
+                    for name in ["_record"] + self.columns
+                )
+            )
+        return "\n".join(lines)
+
+
+def build_table(
+    segmentation: Segmentation,
+    columns: dict[int, int] | None = None,
+) -> RelationalTable:
+    """Build a :class:`RelationalTable` from a segmentation.
+
+    Args:
+        segmentation: the segmentation to tabulate.
+        columns: optional ``seq -> column`` override (e.g. from the
+            CSP column assigner).  Defaults to the segmentation's own
+            per-record column labels; records without any column
+            information fall back to positional columns.
+
+    Multiple extracts landing in the same (record, column) cell are
+    joined with ``" / "`` — visible rather than silently dropped.
+    """
+    table = RelationalTable()
+    max_column = -1
+
+    def column_of(record, observation, position) -> int:
+        if columns is not None and observation.seq in columns:
+            return columns[observation.seq]
+        if record.columns and observation.seq in record.columns:
+            return record.columns[observation.seq]
+        return position
+
+    for record in segmentation.records:
+        for position, observation in enumerate(record.observations):
+            max_column = max(max_column, column_of(record, observation, position))
+
+    table.columns = [f"L{index}" for index in range(max_column + 1)]
+    for record in segmentation.records:
+        row: dict[str, str] = {"_record": str(record.record_id)}
+        for position, observation in enumerate(record.observations):
+            name = f"L{column_of(record, observation, position)}"
+            if name in row:
+                row[name] = row[name] + " / " + observation.extract.text
+            else:
+                row[name] = observation.extract.text
+        table.rows.append(row)
+    return table

@@ -1,0 +1,28 @@
+"""Experiment drivers, aggregation and paper-style table rendering."""
+
+from repro.reporting.aggregate import (
+    NOTE_LEGEND,
+    ExperimentResult,
+    PageResult,
+    notes_from_meta,
+)
+from repro.reporting.experiment import run_corpus, run_site
+from repro.reporting.tables import (
+    render_assignment_table,
+    render_observation_table,
+    render_position_table,
+    render_table4,
+)
+
+__all__ = [
+    "NOTE_LEGEND",
+    "ExperimentResult",
+    "PageResult",
+    "notes_from_meta",
+    "render_assignment_table",
+    "render_observation_table",
+    "render_position_table",
+    "render_table4",
+    "run_corpus",
+    "run_site",
+]

@@ -1,0 +1,67 @@
+"""The corpus experiment driver.
+
+:func:`run_corpus` reproduces the paper's main experiment: both
+segmentation methods over all 12 simulated sites (two list pages
+each), scored against ground truth.  Benchmarks, examples and tests
+all share this driver so they report identical numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.core.evaluation import score_page
+from repro.core.pipeline import SegmentationPipeline
+from repro.reporting.aggregate import (
+    ExperimentResult,
+    PageResult,
+    notes_from_meta,
+)
+from repro.sitegen.corpus import Corpus, build_corpus
+
+__all__ = ["run_corpus", "run_site"]
+
+
+def run_site(
+    site,
+    method: str,
+    config: PipelineConfig | None = None,
+) -> list[PageResult]:
+    """Run one method over one generated site; one row per list page."""
+    pipeline = SegmentationPipeline(method, config)
+    run = pipeline.segment_generated_site(site)
+    rows: list[PageResult] = []
+    for page_run, truth in zip(run.pages, site.truth):
+        score = score_page(page_run.segmentation, truth)
+        rows.append(
+            PageResult(
+                site=site.spec.name,
+                page_index=truth.page_index,
+                method=method,
+                score=score,
+                notes=notes_from_meta(page_run.segmentation.meta),
+                elapsed=page_run.elapsed,
+                meta=dict(page_run.segmentation.meta),
+            )
+        )
+    return rows
+
+
+def run_corpus(
+    corpus: Corpus | None = None,
+    methods: tuple[str, ...] = ("prob", "csp"),
+    config: PipelineConfig | None = None,
+) -> ExperimentResult:
+    """Run the full Table 4 experiment.
+
+    Args:
+        corpus: a rendered corpus; defaults to the standard 12 sites.
+        methods: which segmenters to evaluate.
+        config: shared pipeline configuration.
+    """
+    corpus = corpus or build_corpus()
+    result = ExperimentResult()
+    for method in methods:
+        for site in corpus.sites:
+            for row in run_site(site, method, config):
+                result.add(row)
+    return result

@@ -1,0 +1,158 @@
+"""ASCII renderers for the paper's tables.
+
+Each function regenerates one of the paper's exhibits from live
+objects: the observation table (Table 1), the assignment table
+(Table 2), the position table (Table 3) and the per-site results
+table (Table 4).
+"""
+
+from __future__ import annotations
+
+from repro.core.results import Segmentation
+from repro.extraction.observations import ObservationTable
+from repro.reporting.aggregate import NOTE_LEGEND, ExperimentResult
+
+__all__ = [
+    "render_observation_table",
+    "render_assignment_table",
+    "render_position_table",
+    "render_table4",
+]
+
+
+def _clip(text: str, width: int) -> str:
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def render_observation_table(
+    table: ObservationTable, col_width: int = 14
+) -> str:
+    """Table 1: observations of extracts on detail pages (D_i sets)."""
+    header = ["extract".ljust(col_width)]
+    d_row = ["D_i".ljust(col_width)]
+    for observation in table.observations:
+        header.append(_clip(observation.extract.text, col_width).ljust(col_width))
+        d_row.append(
+            ",".join(f"r{r}" for r in sorted(observation.detail_pages)).ljust(
+                col_width
+            )
+        )
+    lines = [
+        "Observations of extracts on detail pages "
+        f"(K={table.detail_count}; paper Table 1)",
+        " | ".join(header),
+        " | ".join(d_row),
+    ]
+    return "\n".join(lines)
+
+
+def render_assignment_table(
+    segmentation: Segmentation, col_width: int = 14
+) -> str:
+    """Table 2: assignment of extracts to records."""
+    table = segmentation.table
+    assigned: dict[int, int] = {}
+    for record in segmentation.records:
+        for observation in record.observations:
+            assigned[observation.seq] = record.record_id
+
+    header = ["".ljust(col_width)]
+    for observation in table.observations:
+        header.append(_clip(observation.extract.text, col_width).ljust(col_width))
+    lines = [
+        f"Assignment of extracts to records ({segmentation.method}; "
+        "paper Table 2)",
+        " | ".join(header),
+    ]
+    for record in segmentation.records:
+        row = [f"r{record.record_id}".ljust(col_width)]
+        for observation in table.observations:
+            mark = "1" if assigned.get(observation.seq) == record.record_id else ""
+            row.append(mark.ljust(col_width))
+        lines.append(" | ".join(row))
+    if segmentation.unassigned:
+        lines.append(
+            "unassigned: "
+            + ", ".join(o.extract.text for o in segmentation.unassigned)
+        )
+    return "\n".join(lines)
+
+
+def render_position_table(
+    table: ObservationTable, col_width: int = 14
+) -> str:
+    """Table 3: positions of extracts on detail pages (pos_j^k)."""
+    header = ["position".ljust(col_width)]
+    for observation in table.observations:
+        header.append(_clip(observation.extract.text, col_width).ljust(col_width))
+    lines = [
+        "Positions of extracts on detail pages (paper Table 3)",
+        " | ".join(header),
+    ]
+    cells: dict[tuple[int, int], set[int]] = {}
+    for observation in table.observations:
+        for page, starts in observation.positions.items():
+            for start in starts:
+                cells.setdefault((page, start), set()).add(observation.seq)
+    for (page, start), members in sorted(cells.items()):
+        row = [f"pos_{page}^{start}".ljust(col_width)]
+        for observation in table.observations:
+            row.append(("1" if observation.seq in members else "").ljust(col_width))
+        lines.append(" | ".join(row))
+    return "\n".join(lines)
+
+
+def render_table4(result: ExperimentResult) -> str:
+    """Table 4: per-site Cor/InC/FN/FP for every method + aggregates."""
+    methods = result.methods()
+    lines: list[str] = []
+    head = f"{'Wrapper':<16}"
+    for method in methods:
+        head += f"| {method:^21} "
+    head += "| notes"
+    lines.append(head)
+    sub = f"{'':<16}"
+    for _ in methods:
+        sub += f"| {'Cor':>4} {'InC':>4} {'FN':>4} {'FP':>4} "
+    lines.append(sub)
+    lines.append("-" * len(sub))
+
+    by_key: dict[tuple[str, int], dict[str, object]] = {}
+    order: list[tuple[str, int]] = []
+    for page in result.pages:
+        key = (page.site, page.page_index)
+        if key not in by_key:
+            by_key[key] = {}
+            order.append(key)
+        by_key[key][page.method] = page
+
+    for site, page_index in order:
+        row = f"{site + ' p' + str(page_index):<16}"
+        notes: set[str] = set()
+        for method in methods:
+            page = by_key[(site, page_index)].get(method)
+            if page is None:
+                row += f"| {'-':>19} "
+                continue
+            cor, inc, fn, fp = page.score.as_row()
+            row += f"| {cor:>4} {inc:>4} {fn:>4} {fp:>4} "
+            notes.update(page.notes)
+        row += "| " + ",".join(sorted(notes))
+        lines.append(row)
+
+    lines.append("-" * len(sub))
+    for label, totals_of in (
+        ("Precision", lambda m: result.totals(m).precision),
+        ("Recall", lambda m: result.totals(m).recall),
+        ("F", lambda m: result.totals(m).f_measure),
+    ):
+        row = f"{label:<16}"
+        for method in methods:
+            row += f"| {totals_of(method):>19.2f} "
+        lines.append(row)
+    lines.append("")
+    lines.append(
+        "Notes: "
+        + "; ".join(f"{letter}. {text}" for letter, text in NOTE_LEGEND.items())
+    )
+    return "\n".join(lines)

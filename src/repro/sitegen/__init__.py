@@ -1,0 +1,38 @@
+"""Hidden-web site simulator: the 12-site evaluation corpus."""
+
+from repro.sitegen.corpus import (
+    SITE_BUILDERS,
+    TABLE4_ORDER,
+    Corpus,
+    build_corpus,
+    build_site,
+)
+from repro.sitegen.corruptions import MissingDetailField, Quirks, ValueMismatch
+from repro.sitegen.rng import SiteRng
+from repro.sitegen.schema import FieldSpec, RecordSchema
+from repro.sitegen.site import (
+    GeneratedSite,
+    ListPageTruth,
+    RowLayout,
+    SiteSpec,
+    TrueRow,
+)
+
+__all__ = [
+    "Corpus",
+    "FieldSpec",
+    "GeneratedSite",
+    "ListPageTruth",
+    "MissingDetailField",
+    "Quirks",
+    "RecordSchema",
+    "RowLayout",
+    "SITE_BUILDERS",
+    "SiteRng",
+    "SiteSpec",
+    "TABLE4_ORDER",
+    "TrueRow",
+    "ValueMismatch",
+    "build_corpus",
+    "build_site",
+]

@@ -1,0 +1,115 @@
+"""The 12-site evaluation corpus (paper Section 6.1).
+
+    "The data set consisted of list and detail pages from 12 Web sites
+    in four different information domains, including book sellers
+    (Amazon, BNBooks), property tax sites (Buttler, Allegheny, Lee
+    counties), white pages (Superpages, Yahoo, Canada411,
+    SprintCanada) and corrections (Ohio, Minnesotta, Michigan)
+    domains.  From each site, we randomly selected two list pages and
+    manually downloaded the detail pages."
+
+:func:`build_corpus` renders all 12 sites deterministically.  Site
+order matches Table 4's rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sitegen.domains.books import build_amazon, build_bnbooks
+from repro.sitegen.domains.corrections import (
+    build_michigan,
+    build_minnesota,
+    build_ohio,
+)
+from repro.sitegen.domains.propertytax import (
+    build_allegheny,
+    build_butler,
+    build_lee,
+)
+from repro.sitegen.domains.whitepages import (
+    build_canada411,
+    build_sprint_canada,
+    build_superpages,
+    build_yahoo_people,
+)
+from repro.sitegen.site import GeneratedSite, SiteSpec
+
+__all__ = ["SITE_BUILDERS", "TABLE4_ORDER", "Corpus", "build_corpus", "build_site"]
+
+#: Builders by site name.
+SITE_BUILDERS: dict[str, Callable[[], SiteSpec]] = {
+    "amazon": build_amazon,
+    "bnbooks": build_bnbooks,
+    "allegheny": build_allegheny,
+    "butler": build_butler,
+    "lee": build_lee,
+    "michigan": build_michigan,
+    "minnesota": build_minnesota,
+    "ohio": build_ohio,
+    "canada411": build_canada411,
+    "sprintcanada": build_sprint_canada,
+    "yahoo": build_yahoo_people,
+    "superpages": build_superpages,
+}
+
+#: Row order of the paper's Table 4.
+TABLE4_ORDER: tuple[str, ...] = (
+    "amazon",
+    "bnbooks",
+    "allegheny",
+    "butler",
+    "lee",
+    "michigan",
+    "minnesota",
+    "ohio",
+    "canada411",
+    "sprintcanada",
+    "yahoo",
+    "superpages",
+)
+
+
+@dataclass
+class Corpus:
+    """The rendered corpus, ordered like Table 4."""
+
+    sites: list[GeneratedSite]
+
+    def site(self, name: str) -> GeneratedSite:
+        """Look up a site by name."""
+        for site in self.sites:
+            if site.spec.name == name:
+                return site
+        raise KeyError(f"no site named {name!r}")
+
+    @property
+    def names(self) -> list[str]:
+        return [site.spec.name for site in self.sites]
+
+    @property
+    def total_list_pages(self) -> int:
+        return sum(len(site.list_pages) for site in self.sites)
+
+    @property
+    def total_records(self) -> int:
+        return sum(
+            sum(site.spec.records_per_page) for site in self.sites
+        )
+
+
+def build_site(name: str) -> GeneratedSite:
+    """Render one corpus site by name."""
+    try:
+        builder = SITE_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown site {name!r}; known: {sorted(SITE_BUILDERS)}"
+        ) from None
+    return GeneratedSite(builder())
+
+
+def build_corpus() -> Corpus:
+    """Render all 12 sites in Table 4 order."""
+    return Corpus(sites=[build_site(name) for name in TABLE4_ORDER])

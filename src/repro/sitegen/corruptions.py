@@ -1,0 +1,173 @@
+"""The data pathologies of the paper's 12 sites (Section 6.3).
+
+Each quirk reproduces a *specific* failure the paper reports, so that
+the evaluation exhibits the same qualitative behaviour:
+
+* numbered entries — entries numbered ``1.``, ``2.``, ... appear once
+  per page on every page, join the page template and shatter the table
+  slot ("In the first three sites, the entries were numbered.  Thus,
+  sequences such as '1.' will be found on every page.") — Amazon,
+  BNBooks, Minnesota.  This one is a *layout*
+  (:attr:`~repro.sitegen.site.RowLayout.NUMBERED`), not a quirk flag.
+* ``duplicate_boilerplate`` — the navigation chrome is repeated in the
+  footer, so no token is unique-per-page and no usable template is
+  found — Yahoo People, Superpages.
+* ``et_al_authors`` — long author lists abbreviated "First Last, et
+  al." on list pages but printed in full on detail pages — Amazon.
+* ``case_mismatch_fields`` — fields rendered ALL-CAPS on the list page
+  but Title Case on detail pages, defeating the case-sensitive matcher
+  — Minnesota.
+* ``value_mismatch`` — a field whose list value differs from its
+  detail value, with the list value additionally planted on one
+  unrelated detail page in a different context ("status of a paroled
+  inmate was listed as 'Parole' on list pages and 'Parolee' on detail
+  pages.  Unfortunately, the string 'Parole' appeared on another page
+  in a completely different context.") — Michigan.
+* ``missing_detail_field`` — one record's town missing from its detail
+  page while present on the list page and shared by every other record
+  — Canada411.
+* ``history_contamination`` — each detail page shows the titles of the
+  previously "viewed" detail pages (Amazon's browsing-history feature,
+  which "completely derail[ed] the CSP algorithm").
+* ``similar_names`` — detail pages cross-reference the *list-view*
+  identifier of the following records ("Similar Offenders" boxes);
+  ``similar_names_stride`` limits the boxes to every n-th detail page,
+  keeping the corruption an *exception* rather than the norm (a
+  systematic shift would re-define the learned structure instead of
+  violating it).
+  Combined with a case mismatch, a record's identifier then matches
+  only the *wrong* detail pages — evidence the CSP must honor as a
+  hard constraint but the probabilistic model can override through its
+  learned column structure (Minnesota).
+* ``ad_contamination`` — a list page carries advertisement strings
+  that also occur on some detail pages, which under the whole-page
+  fallback become spurious extracts — Yahoo People page 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ValueMismatch", "MissingDetailField", "PlantedMention", "Quirks"]
+
+
+@dataclass(frozen=True)
+class ValueMismatch:
+    """A field spelled differently on list and detail pages.
+
+    Attributes:
+        field: field name.
+        list_value: value as rendered on the list page.
+        detail_value: value as rendered on detail pages.
+        plant_record: index (within each list page) of the record whose
+            detail page additionally mentions ``list_value`` in an
+            unrelated sentence; -1 disables planting.
+    """
+
+    field: str
+    list_value: str
+    detail_value: str
+    plant_record: int = -1
+
+
+@dataclass(frozen=True)
+class MissingDetailField:
+    """A field present on the list row but absent from one detail page.
+
+    Attributes:
+        field: field name.
+        page: which list page's records are affected.
+        record: index of the affected record within that page.
+    """
+
+    field: str
+    page: int
+    record: int
+
+
+@dataclass(frozen=True)
+class PlantedMention:
+    """A record's list-view field value planted on *other* detail pages.
+
+    The planted string makes the list extract match only far-away,
+    wrong detail pages.  A hard-constraint solver must honor that
+    evidence (unsatisfiable together with the far records' own pinned
+    extracts -> relaxation -> partial assignment), while the
+    probabilistic model pays its ``d_epsilon`` floor once and keeps
+    the extract near its true position (paper Section 6.3).
+
+    Attributes:
+        page: which list page's records are involved.
+        field: the field whose list-view value is planted.
+        source_record: the record whose value is quoted.
+        target_records: detail pages (record indices) receiving the
+            mention.
+        label: lead-in text of the planted paragraph.
+    """
+
+    page: int
+    field: str
+    source_record: int
+    target_records: tuple[int, ...]
+    label: str = "Case Officer"
+
+
+@dataclass(frozen=True)
+class Quirks:
+    """Per-site pathology switches (all off = a clean site)."""
+
+    duplicate_boilerplate: bool = False
+    et_al_field: str | None = None
+    case_mismatch_fields: tuple[str, ...] = ()
+    case_mismatch_stride: int = 1
+    value_mismatch: ValueMismatch | None = None
+    missing_detail_field: MissingDetailField | None = None
+    history_contamination: int = 0
+    similar_names: int = 0
+    similar_names_stride: int = 1
+    planted_mentions: tuple[PlantedMention, ...] = ()
+    ad_contamination: tuple[int, ...] = ()
+
+    def list_view(
+        self, field_name: str, value: str, row_index: int = 0
+    ) -> str:
+        """The list page's spelling of a field value.
+
+        ``row_index`` drives ``case_mismatch_stride``: only every
+        n-th record's value is re-cased, modelling the partial
+        data-entry inconsistency of the real Minnesota site.
+        """
+        if (
+            field_name in self.case_mismatch_fields
+            and row_index % self.case_mismatch_stride == 0
+        ):
+            return value.upper()
+        if (
+            self.et_al_field is not None
+            and field_name == self.et_al_field
+            and ", " in value
+        ):
+            # "First Author, Second Author, ..." -> "First Author, et al."
+            return value.split(", ", 1)[0] + ", et al."
+        return value
+
+    def detail_view(self, field_name: str, value: str) -> str:
+        """The detail page's spelling of a field value."""
+        mismatch = self.value_mismatch
+        if (
+            mismatch is not None
+            and field_name == mismatch.field
+            and value == mismatch.list_value
+        ):
+            return mismatch.detail_value
+        return value
+
+    def detail_omits(self, field_name: str, page: int, record: int) -> bool:
+        """Is this field suppressed on this record's detail page?"""
+        missing = self.missing_detail_field
+        return (
+            missing is not None
+            and missing.field == field_name
+            and missing.page == page
+            and missing.record == record
+        )

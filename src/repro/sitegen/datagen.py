@@ -1,0 +1,324 @@
+"""Synthetic domain data for the 12-site corpus.
+
+Generators for the four information domains of the paper's evaluation
+(Section 6.1): white pages (people, addresses, phones), property tax
+(parcels, owners, valuations), corrections (inmates, offenses,
+facilities) and book sellers (titles, authors, publishers, prices).
+
+Values are produced combinatorially from modest pools, giving enough
+diversity that list pages from the same site rarely share token values
+by accident (which matters to the unique-token template finder), while
+remaining deterministic under :class:`~repro.sitegen.rng.SiteRng`.
+
+One deliberate convention: phone numbers are rendered as a single
+token (``740-335-5512``) rather than ``(740) 335-5512``, so that a
+shared area code can never become a spurious template token on clean
+sites.  Sites that are *supposed* to break template finding get their
+breakage from explicit quirks instead (see
+:mod:`repro.sitegen.corruptions`).
+"""
+
+from __future__ import annotations
+
+from repro.sitegen.rng import SiteRng
+
+__all__ = [
+    "person_name",
+    "full_person_name",
+    "street_address",
+    "city_state",
+    "city_of",
+    "state_of",
+    "phone_number",
+    "zip_code",
+    "book_title",
+    "author_names",
+    "publisher",
+    "price",
+    "isbn",
+    "year",
+    "parcel_id",
+    "assessed_value",
+    "acreage",
+    "land_use",
+    "inmate_id",
+    "offense",
+    "facility",
+    "custody_status",
+    "admission_date",
+    "date_of_birth",
+]
+
+_FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "Michael", "Linda", "William",
+    "Barbara", "David", "Susan", "Richard", "Jessica", "Joseph", "Sarah",
+    "Thomas", "Karen", "Charles", "Nancy", "Christopher", "Lisa", "Daniel",
+    "Margaret", "Matthew", "Betty", "Anthony", "Sandra", "Donald", "Ashley",
+    "Mark", "Dorothy", "Paul", "Kimberly", "Steven", "Emily", "Andrew",
+    "Donna", "Kenneth", "Michelle", "Joshua", "Carol", "Kevin", "Amanda",
+    "Brian", "Melissa", "George", "Deborah", "Edward", "Stephanie",
+    "Ronald", "Rebecca", "Timothy", "Laura", "Jason", "Sharon", "Jeffrey",
+    "Cynthia", "Ryan", "Kathleen", "Jacob", "Amy", "Gary", "Shirley",
+    "Nicholas", "Angela", "Eric", "Helen", "Jonathan", "Anna", "Stephen",
+    "Brenda", "Larry", "Pamela", "Justin", "Nicole", "Scott", "Ruth",
+    "Brandon", "Katherine", "Benjamin", "Samantha", "Samuel", "Christine",
+    "Gregory", "Emma", "Frank", "Catherine", "Alexander", "Debra",
+    "Raymond", "Virginia", "Patrick", "Rachel", "Jack", "Carolyn",
+    "Dennis", "Janet", "Jerry", "Maria", "Tyler", "Heather",
+]
+
+_LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez", "Powell", "Jenkins", "Perry", "Russell",
+    "Sullivan", "Bell", "Coleman", "Butler", "Henderson", "Barnes",
+    "Fisher", "Vasquez", "Simmons", "Romero", "Jordan", "Patterson",
+    "Alexander", "Hamilton", "Graham", "Reynolds", "Griffin", "Wallace",
+]
+
+_MIDDLE_INITIALS = "ABCDEFGHJKLMNPRSTW"
+
+_STREET_NAMES = [
+    "Washington", "Maple", "Oak", "Cedar", "Elm", "Lake", "Hill", "Pine",
+    "Walnut", "Spring", "Ridge", "Church", "Main", "Park", "High",
+    "Sunset", "Railroad", "Mill", "River", "Meadow", "Forest", "Highland",
+    "Franklin", "Jefferson", "Madison", "Monroe", "Adams", "Jackson",
+    "Lincoln", "Grant", "Cherry", "Dogwood", "Hickory", "Laurel",
+    "Magnolia", "Sycamore", "Willow", "Aspen", "Birch", "Chestnut",
+    "Colonial", "Country", "Creekside", "Fairview", "Garden", "Hillcrest",
+    "Lakeview", "Orchard", "Prospect", "Riverside", "Sherwood", "Valley",
+]
+
+_STREET_SUFFIXES = ["St.", "Ave.", "Rd.", "Dr.", "Ln.", "Blvd.", "Ct.", "Pl."]
+
+_CITIES_BY_STATE = {
+    "OH": ["Findlay", "Columbus", "Dayton", "Toledo", "Akron", "Marion",
+           "Lima", "Mansfield", "Newark", "Lancaster", "Zanesville",
+           "Springfield", "Sandusky", "Ashland", "Wooster", "Delaware"],
+    "PA": ["Pittsburgh", "Monroeville", "Bethel", "Carnegie", "Duquesne",
+           "McKeesport", "Penn Hills", "Plum", "Clairton", "Verona",
+           "Wilkinsburg", "Munhall", "Braddock", "Swissvale", "Etna"],
+    "MI": ["Detroit", "Lansing", "Flint", "Saginaw", "Jackson", "Monroe",
+           "Pontiac", "Warren", "Livonia", "Westland", "Taylor", "Novi"],
+    "MN": ["Minneapolis", "Duluth", "Rochester", "Bloomington", "Mankato",
+           "Moorhead", "Winona", "Faribault", "Bemidji", "Hibbing"],
+    "FL": ["Fort Myers", "Cape Coral", "Estero", "Sanibel", "Alva",
+           "Bokeelia", "Matlacha", "Captiva", "Tice", "Buckingham"],
+    "ON": ["Toronto", "Ottawa", "Hamilton", "London", "Windsor", "Kingston",
+           "Sudbury", "Barrie", "Guelph", "Kitchener", "Oshawa", "Sarnia"],
+    "BC": ["Vancouver", "Victoria", "Kelowna", "Kamloops", "Nanaimo",
+           "Burnaby", "Richmond", "Surrey", "Abbotsford", "Chilliwack"],
+    "CA": ["Los Angeles", "San Diego", "Fresno", "Sacramento", "Oakland",
+           "Bakersfield", "Anaheim", "Stockton", "Riverside", "Modesto"],
+    "NY": ["Albany", "Buffalo", "Rochester", "Syracuse", "Yonkers",
+           "Utica", "Schenectady", "Binghamton", "Troy", "Elmira"],
+}
+
+_OFFENSES = [
+    "Burglary", "Robbery", "Felonious Assault", "Drug Trafficking",
+    "Grand Theft", "Forgery", "Receiving Stolen Property", "Arson",
+    "Breaking and Entering", "Vandalism", "Fraud", "Escape",
+    "Drug Possession", "Weapons Violation", "Aggravated Menacing",
+    "Obstructing Justice", "Identity Theft", "Vehicular Assault",
+]
+
+_FACILITIES = [
+    "Marion Correctional Institution", "Pickaway Correctional Institution",
+    "Chillicothe Correctional Institution", "Lebanon Correctional Institution",
+    "Noble Correctional Institution", "Richland Correctional Institution",
+    "Stillwater State Prison", "Rush City Facility", "Faribault Facility",
+    "Lino Lakes Facility", "Saginaw Correctional Facility",
+    "Parnall Correctional Facility", "Lakeland Correctional Facility",
+    "Thumb Correctional Facility",
+]
+
+_CUSTODY_STATUSES = ["Incarcerated", "Parole", "Probation", "Released", "Supervised"]
+
+_TITLE_ADJECTIVES = [
+    "Silent", "Hidden", "Broken", "Golden", "Crimson", "Forgotten",
+    "Distant", "Burning", "Frozen", "Endless", "Sacred", "Shattered",
+    "Wandering", "Ancient", "Midnight", "Emerald", "Scarlet", "Hollow",
+    "Restless", "Luminous", "Quiet", "Savage", "Gentle", "Iron",
+]
+
+_TITLE_NOUNS = [
+    "River", "Garden", "Empire", "Harvest", "Shadow", "Horizon",
+    "Compass", "Lantern", "Orchard", "Winter", "Summer", "Voyage",
+    "Covenant", "Labyrinth", "Meridian", "Sonata", "Paradox", "Citadel",
+    "Archive", "Prophecy", "Tempest", "Mosaic", "Pilgrim", "Threshold",
+]
+
+_TITLE_PATTERNS = [
+    "The {adj} {noun}",
+    "{adj} {noun}",
+    "The {noun} of {noun2}",
+    "A {adj} {noun}",
+    "{noun} and {noun2}",
+    "Beyond the {adj} {noun}",
+    "Children of the {noun}",
+    "The Last {noun}",
+]
+
+_PUBLISHERS = [
+    "Harbor House", "Meridian Press", "Blue Lantern Books", "Stonebridge",
+    "Willow Creek Publishing", "Northfield Press", "Cardinal Books",
+    "Summit House", "Bayside Press", "Foxglove Publishing",
+]
+
+_LAND_USES = [
+    "Single Family", "Two Family", "Vacant Land", "Commercial",
+    "Agricultural", "Industrial", "Condominium", "Multi Family",
+]
+
+
+def person_name(rng: SiteRng) -> str:
+    """``First Last``."""
+    return f"{rng.pick(_FIRST_NAMES)} {rng.pick(_LAST_NAMES)}"
+
+
+def full_person_name(rng: SiteRng) -> str:
+    """``First M. Last`` about half the time, else ``First Last``."""
+    first = rng.pick(_FIRST_NAMES)
+    last = rng.pick(_LAST_NAMES)
+    if rng.chance(0.5):
+        return f"{first} {rng.pick(_MIDDLE_INITIALS)}. {last}"
+    return f"{first} {last}"
+
+
+def street_address(rng: SiteRng) -> str:
+    """``4217 Maple Ave.``-style street address."""
+    number = rng.randint(100, 9899)
+    return f"{number} {rng.pick(_STREET_NAMES)} {rng.pick(_STREET_SUFFIXES)}"
+
+
+def state_of(region: str) -> str:
+    """Validate and echo a region code used by the city pools."""
+    if region not in _CITIES_BY_STATE:
+        raise KeyError(f"unknown region {region!r}")
+    return region
+
+
+def city_of(rng: SiteRng, region: str) -> str:
+    """A city in the region."""
+    return rng.pick(_CITIES_BY_STATE[state_of(region)])
+
+
+def city_state(rng: SiteRng, region: str) -> str:
+    """``City, ST``."""
+    return f"{city_of(rng, region)}, {region}"
+
+
+def phone_number(rng: SiteRng, area_codes: tuple[str, ...] = ("740", "419", "614")) -> str:
+    """Single-token phone number ``740-335-5512``."""
+    return f"{rng.pick(area_codes)}-{rng.digits(3)}-{rng.digits(4)}"
+
+
+def zip_code(rng: SiteRng) -> str:
+    """Five-digit ZIP code."""
+    return f"{rng.randint(10000, 99899)}"
+
+
+def book_title(rng: SiteRng) -> str:
+    """A combinatorial book title."""
+    pattern = rng.pick(_TITLE_PATTERNS)
+    noun = rng.pick(_TITLE_NOUNS)
+    noun2 = rng.pick([n for n in _TITLE_NOUNS if n != noun])
+    return pattern.format(adj=rng.pick(_TITLE_ADJECTIVES), noun=noun, noun2=noun2)
+
+
+def author_names(rng: SiteRng, count: int) -> list[str]:
+    """``count`` distinct author names."""
+    names: list[str] = []
+    while len(names) < count:
+        name = person_name(rng)
+        if name not in names:
+            names.append(name)
+    return names
+
+
+def publisher(rng: SiteRng) -> str:
+    """A publishing house."""
+    return rng.pick(_PUBLISHERS)
+
+
+def price(rng: SiteRng, low: float = 5.0, high: float = 45.0) -> str:
+    """``$23.95``-style price (dollar sign is a separator token, the
+    amount is the matchable extract)."""
+    dollars = rng.randint(int(low), int(high) - 1)
+    cents = rng.pick(["95", "99", "50", "25", "00"])
+    return f"${dollars}.{cents}"
+
+
+def isbn(rng: SiteRng) -> str:
+    """Ten-digit ISBN-like identifier."""
+    return f"0-{rng.digits(3)}-{rng.digits(5)}-{rng.digits(1)}"
+
+
+def year(rng: SiteRng, low: int = 1988, high: int = 2004) -> str:
+    """Publication year."""
+    return str(rng.randint(low, high))
+
+
+def parcel_id(rng: SiteRng) -> str:
+    """County parcel identifier ``23-041-0882``."""
+    return f"{rng.digits(2)}-{rng.digits(3)}-{rng.digits(4)}"
+
+
+def assessed_value(rng: SiteRng, low: int = 18, high: int = 420) -> str:
+    """Assessed value in dollars, comma-grouped (one token)."""
+    thousands = rng.randint(low, high)
+    hundreds = rng.pick(["000", "100", "200", "300", "400", "500", "600",
+                         "700", "800", "900"])
+    return f"{thousands},{hundreds}"
+
+
+def acreage(rng: SiteRng) -> str:
+    """Lot acreage ``1.84``."""
+    return f"{rng.randint(0, 12)}.{rng.digits(2)}"
+
+
+def land_use(rng: SiteRng) -> str:
+    """Land-use classification."""
+    return rng.pick(_LAND_USES)
+
+
+def inmate_id(rng: SiteRng, prefix: str = "A") -> str:
+    """Offender number ``A483-221``."""
+    return f"{prefix}{rng.digits(3)}-{rng.digits(3)}"
+
+
+def offense(rng: SiteRng) -> str:
+    """An offense description."""
+    return rng.pick(_OFFENSES)
+
+
+def facility(rng: SiteRng) -> str:
+    """A correctional facility name."""
+    return rng.pick(_FACILITIES)
+
+
+def custody_status(rng: SiteRng) -> str:
+    """Custody status label."""
+    return rng.pick(_CUSTODY_STATUSES)
+
+
+def admission_date(rng: SiteRng) -> str:
+    """``06-14-1999``-style date (single hyphenated token)."""
+    return f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}-{rng.randint(1991, 2003)}"
+
+
+def date_of_birth(rng: SiteRng) -> str:
+    """``03-22-1961``-style date of birth."""
+    return f"{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}-{rng.randint(1948, 1984)}"

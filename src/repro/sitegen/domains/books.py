@@ -1,0 +1,93 @@
+"""Book-seller sites: Amazon and BNBooks — the corpus's hardest cases.
+
+The paper could not correctly segment either book site: numbered
+entries broke the page template, and under the whole-page fallback
+"many of the strings in the list page, that were not part of the list,
+appeared in detail pages, confounding our algorithms".  Additionally
+on Amazon: long author lists abbreviated "FirstName LastName, et al"
+on list pages but printed in full on detail pages, and the site's
+browsing-history feature "led to title[s] of books from previously
+downloaded detail pages to appear on unrelated pages, completely
+derailing the CSP algorithm".
+
+Reproduced here:
+
+* numbered layout on both sites (template failure, notes *a*, *b*);
+* promo strings on list pages quoting some records' detail content
+  (``ad_contamination``);
+* on Amazon, ``et_al_field`` abbreviation and ``history_contamination``
+  (each detail page shows the two previously viewed titles).
+"""
+
+from __future__ import annotations
+
+from repro.sitegen import datagen
+from repro.sitegen.corruptions import Quirks
+from repro.sitegen.rng import SiteRng
+from repro.sitegen.schema import FieldSpec, RecordSchema
+from repro.sitegen.site import RowLayout, SiteSpec
+
+__all__ = ["build_amazon", "build_bnbooks"]
+
+
+def _authors(rng: SiteRng) -> str:
+    """1-4 authors, comma-joined; 3+ triggers et-al abbreviation."""
+    count = rng.pick_weighted([1, 2, 3, 4], [0.45, 0.3, 0.15, 0.1])
+    return ", ".join(datagen.author_names(rng, count))
+
+
+def _book_schema() -> RecordSchema:
+    return RecordSchema(
+        fields=[
+            FieldSpec("title", datagen.book_title),
+            FieldSpec("authors", _authors),
+            FieldSpec("price", datagen.price),
+            FieldSpec("year", datagen.year, missing_rate=0.1),
+        ]
+    )
+
+
+def _book_extras(rng: SiteRng, record: dict) -> list[tuple[str, str]]:
+    return [
+        ("ISBN", datagen.isbn(rng)),
+        ("Publisher", datagen.publisher(rng)),
+    ]
+
+
+def build_amazon(seed: int = 401) -> SiteSpec:
+    """Amazon-style book list with every pathology the paper reports."""
+    return SiteSpec(
+        name="amazon",
+        title="Amazon Books",
+        domain="books",
+        schema=_book_schema(),
+        records_per_page=(10, 10),
+        layout=RowLayout.NUMBERED,
+        quirks=Quirks(
+            et_al_field="authors",
+            history_contamination=2,
+            ad_contamination=(0, 1),
+        ),
+        seed=seed,
+        detail_labels={"authors": "Authors", "price": "Our Price"},
+        detail_extras=_book_extras,
+        detail_link_text="More Info",
+    )
+
+
+def build_bnbooks(seed: int = 402) -> SiteSpec:
+    """Barnes&Noble-style book list: numbered entries + list promos."""
+    return SiteSpec(
+        name="bnbooks",
+        title="BN Books",
+        domain="books",
+        schema=_book_schema(),
+        records_per_page=(10, 10),
+        layout=RowLayout.NUMBERED,
+        quirks=Quirks(
+            ad_contamination=(0, 1),
+        ),
+        seed=seed,
+        detail_labels={"price": "List Price"},
+        detail_extras=_book_extras,
+    )

@@ -1,0 +1,52 @@
+"""Shared helpers for the domain site builders."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.sitegen.rng import SiteRng
+
+__all__ = ["ensure_no_singletons"]
+
+
+def ensure_no_singletons(
+    rng: SiteRng, records: list[dict], field: str
+) -> None:
+    """Make every value of ``field`` occur 0 or >= 2 times on the page.
+
+    Low-cardinality categorical values (facility names, offenses,
+    statuses) that happen to occur exactly once on *each* sample page
+    would qualify as unique-per-page template tokens and thread through
+    the table, shattering it.  Real template-generated sites do not
+    fragment on such values because real template finders see more
+    pages; with only two sample pages (the paper's setup) we instead
+    keep categorical values from being page-unique at all, by
+    reassigning each singleton to a value that already occurs at least
+    twice (or duplicating it onto another record when the page is too
+    small to have one).
+    """
+    while True:
+        counts = Counter(
+            record[field] for record in records if field in record
+        )
+        singles = [value for value, count in counts.items() if count == 1]
+        if not singles:
+            return
+        # Fix one singleton per pass; earlier fixes change the counts,
+        # so they are recomputed before touching the next one.
+        value = singles[0]
+        frequent = [v for v, count in counts.items() if count >= 2]
+        holder = next(r for r in records if r.get(field) == value)
+        if frequent:
+            holder[field] = rng.pick(frequent)
+        else:
+            # No frequent value yet: copy this one onto a second
+            # record, making it a pair.
+            others = [
+                other
+                for other in records
+                if other is not holder and field in other
+            ]
+            if not others:
+                return
+            rng.pick(others)[field] = value

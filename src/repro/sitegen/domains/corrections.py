@@ -1,0 +1,152 @@
+"""Corrections sites: Ohio, Michigan and Minnesota.
+
+Table 4 shapes reproduced here:
+
+* **Ohio** (10 / 10) — clean grid; both methods near-perfect.
+* **Michigan** (7 / 16) — the "Parole" / "Parolee" value mismatch:
+  the status field reads "Parole" on list rows but "Parolee" on detail
+  pages, and "the string 'Parole' appeared on another page in a
+  completely different context", leaving WSAT(OIP) with unsatisfiable
+  constraints (notes *c*, *d* on page 2).
+* **Minnesota** (11 / 19) — numbered entries (template failure, notes
+  *a*, *b*) plus "a case mismatch between attribute values on list and
+  detail pages": inmate names are ALL-CAPS on list rows, Title Case on
+  detail pages, so the case-sensitive matcher loses the anchor field.
+"""
+
+from __future__ import annotations
+
+from repro.sitegen import datagen
+from repro.sitegen.corruptions import PlantedMention, Quirks, ValueMismatch
+from repro.sitegen.domains.common import ensure_no_singletons
+from repro.sitegen.rng import SiteRng
+from repro.sitegen.schema import FieldSpec, RecordSchema
+from repro.sitegen.site import RowLayout, SiteSpec
+
+__all__ = ["build_ohio", "build_michigan", "build_minnesota"]
+
+
+def _inmate_schema(id_prefix: str) -> RecordSchema:
+    def make_id(rng: SiteRng) -> str:
+        return datagen.inmate_id(rng, prefix=id_prefix)
+
+    return RecordSchema(
+        fields=[
+            FieldSpec("name", datagen.full_person_name),
+            FieldSpec("number", make_id),
+            FieldSpec("offense", datagen.offense),
+            FieldSpec("facility", datagen.facility, missing_rate=0.1),
+            FieldSpec("status", datagen.custody_status),
+        ]
+    )
+
+
+def _corrections_extras(rng: SiteRng, record: dict) -> list[tuple[str, str]]:
+    return [
+        ("Admitted", datagen.admission_date(rng)),
+        ("Date of Birth", datagen.date_of_birth(rng)),
+    ]
+
+
+def _no_categorical_singletons(
+    rng: SiteRng, records: list[dict], page: int
+) -> None:
+    """Keep low-cardinality values from becoming page-unique tokens."""
+    for field in ("offense", "facility", "status"):
+        ensure_no_singletons(rng, records, field)
+
+
+def build_ohio(seed: int = 301) -> SiteSpec:
+    """Ohio Department of Corrections offender search — clean grid."""
+    return SiteSpec(
+        name="ohio",
+        title="Ohio Offender Search",
+        domain="corrections",
+        schema=_inmate_schema("A"),
+        records_per_page=(10, 10),
+        layout=RowLayout.GRID,
+        seed=seed,
+        detail_labels={"number": "Offender Number", "status": "Status"},
+        detail_extras=_corrections_extras,
+        post_process=_no_categorical_singletons,
+    )
+
+
+def _michigan_post(rng: SiteRng, records: list[dict], page: int) -> None:
+    """Stage the Parole/Parolee pathology on page 1 only.
+
+    Page 0 carries no paroled inmates at all; page 1 gets several.
+    Keeping "Parole" off page 0's list makes sure the page-1 "Parole"
+    extracts are *not* dropped by the appears-on-all-list-pages filter
+    — they must survive to collide with the string planted on the
+    unrelated detail page, as on the real site (Table 4 notes *c*,
+    *d* appear on Michigan's second row only).
+    """
+    for record in records:
+        if record.get("status") == "Parole":
+            record["status"] = "Incarcerated"
+    _no_categorical_singletons(rng, records, page)
+    if page == 1:
+        paroled = max(2, len(records) // 5)
+        for index in range(paroled):
+            # Spread paroled inmates through the page, avoiding record
+            # 0 (whose detail page carries the planted string).
+            records[1 + (index * 3) % (len(records) - 1)]["status"] = "Parole"
+
+
+def build_michigan(seed: int = 302) -> SiteSpec:
+    """Michigan OTIS, with the Parole/Parolee mismatch."""
+    return SiteSpec(
+        name="michigan",
+        title="Michigan Offender Tracking",
+        domain="corrections",
+        schema=_inmate_schema("M"),
+        records_per_page=(7, 16),
+        layout=RowLayout.GRID,
+        quirks=Quirks(
+            value_mismatch=ValueMismatch(
+                field="status",
+                list_value="Parole",
+                detail_value="Parolee",
+                plant_record=0,
+            ),
+        ),
+        seed=seed,
+        detail_labels={"number": "MDOC Number"},
+        detail_extras=_corrections_extras,
+        post_process=_michigan_post,
+    )
+
+
+def build_minnesota(seed: int = 303) -> SiteSpec:
+    """Minnesota DOC, numbered entries + name case mismatch."""
+    return SiteSpec(
+        name="minnesota",
+        title="Minnesota Offender Locator",
+        domain="corrections",
+        schema=_inmate_schema("K"),
+        records_per_page=(11, 19),
+        layout=RowLayout.NUMBERED,
+        quirks=Quirks(
+            case_mismatch_fields=("name",),
+            case_mismatch_stride=2,
+            planted_mentions=(
+                # ALL-CAPS inmate names that coincide with staff-name
+                # mentions on far, unrelated detail pages: hard
+                # evidence the CSP cannot satisfy, noise the
+                # probabilistic model absorbs.
+                PlantedMention(page=0, field="name", source_record=6,
+                               target_records=(1, 9)),
+                PlantedMention(page=0, field="name", source_record=4,
+                               target_records=(8,)),
+                PlantedMention(page=1, field="name", source_record=12,
+                               target_records=(3, 16)),
+                PlantedMention(page=1, field="name", source_record=8,
+                               target_records=(14,)),
+            ),
+        ),
+        seed=seed,
+        detail_labels={"number": "OID Number"},
+        detail_extras=_corrections_extras,
+        post_process=_no_categorical_singletons,
+    )

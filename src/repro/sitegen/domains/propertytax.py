@@ -1,0 +1,105 @@
+"""Property-tax sites: Allegheny, Butler and Lee counties.
+
+The paper's cleanest domain — government sites with grid-like tables
+and consistent data ("Commercial sites had the greatest complexity...
+government sites" less so).  All three segment perfectly for the CSP
+and near-perfectly for the probabilistic method in Table 4, so these
+builders inject no quirks; they differ in layout, schema richness and
+record counts (20/20, 15/12, 16/5).
+"""
+
+from __future__ import annotations
+
+from repro.sitegen import datagen
+from repro.sitegen.rng import SiteRng
+from repro.sitegen.schema import FieldSpec, RecordSchema
+from repro.sitegen.site import RowLayout, SiteSpec
+
+__all__ = ["build_allegheny", "build_butler", "build_lee"]
+
+
+def _tax_extras(rng: SiteRng, record: dict) -> list[tuple[str, str]]:
+    return [
+        ("Tax Year", "2003"),
+        ("School District", f"District {rng.randint(1, 40)} {rng.digits(4)}"),
+    ]
+
+
+def _parcel_schema(region: str) -> RecordSchema:
+    def citystatezip(rng: SiteRng) -> str:
+        return f"{datagen.city_state(rng, region)} {datagen.zip_code(rng)}"
+
+    return RecordSchema(
+        fields=[
+            FieldSpec("parcel", datagen.parcel_id),
+            FieldSpec("owner", datagen.full_person_name),
+            FieldSpec("address", datagen.street_address),
+            FieldSpec("citystate", citystatezip, missing_rate=0.1),
+            FieldSpec("value", datagen.assessed_value),
+        ]
+    )
+
+
+def build_allegheny(seed: int = 201) -> SiteSpec:
+    """Allegheny County (PA) assessment search — big clean grid."""
+    return SiteSpec(
+        name="allegheny",
+        title="Allegheny County Assessment",
+        domain="propertytax",
+        schema=_parcel_schema("PA"),
+        records_per_page=(20, 20),
+        layout=RowLayout.GRID,
+        seed=seed,
+        detail_labels={
+            "parcel": "Parcel ID",
+            "citystate": "Municipality",
+            "value": "Assessed Value",
+        },
+        detail_extras=_tax_extras,
+    )
+
+
+def build_butler(seed: int = 202) -> SiteSpec:
+    """Butler County (OH) auditor — clean grid with acreage."""
+    schema = RecordSchema(
+        fields=[
+            FieldSpec("parcel", datagen.parcel_id),
+            FieldSpec("owner", datagen.full_person_name),
+            FieldSpec("address", datagen.street_address),
+            FieldSpec("acreage", datagen.acreage, missing_rate=0.15),
+            FieldSpec("value", datagen.assessed_value),
+        ]
+    )
+    return SiteSpec(
+        name="butler",
+        title="Butler County Auditor",
+        domain="propertytax",
+        schema=schema,
+        records_per_page=(15, 12),
+        layout=RowLayout.GRID,
+        seed=seed,
+        detail_labels={
+            "parcel": "Parcel Number",
+            "value": "Market Value",
+        },
+        detail_extras=_tax_extras,
+    )
+
+
+def build_lee(seed: int = 203) -> SiteSpec:
+    """Lee County (FL) property appraiser — free-form blocks."""
+    return SiteSpec(
+        name="lee",
+        title="Lee County Property Appraiser",
+        domain="propertytax",
+        schema=_parcel_schema("FL"),
+        records_per_page=(16, 5),
+        layout=RowLayout.FLAT,
+        seed=seed,
+        detail_labels={
+            "parcel": "Folio ID",
+            "citystate": "Site City",
+            "value": "Just Value",
+        },
+        detail_extras=_tax_extras,
+    )

@@ -1,0 +1,170 @@
+"""White-pages sites: Superpages, Yahoo People, Canada411, SprintCanada.
+
+Table 4 shapes reproduced here:
+
+* **Superpages** (3 / 15 records) — duplicated boilerplate destroys the
+  page template (note *a*), so the entire page is used (note *b*);
+  the data itself is clean, so segmentation still mostly works.
+* **Yahoo People** (10 / 10) — same template problem, plus
+  advertisement strings on list page 1 that also occur on detail pages
+  (the paper: "many strings that were not part of the table found
+  matches on detail pages").
+* **Canada411** (25 / 5) — clean template, but on page 2 one record's
+  town is "missing on the detail page but not on the list page" while
+  "the town name was the same as in other records", the exact
+  inconsistency that made WSAT(OIP) fail.
+* **SprintCanada** (20 / 20) — clean; towns are shared between
+  records, which costs the probabilistic method precision (InC) but
+  not the CSP.
+"""
+
+from __future__ import annotations
+
+from repro.sitegen import datagen
+from repro.sitegen.corruptions import MissingDetailField, Quirks
+from repro.sitegen.rng import SiteRng
+from repro.sitegen.schema import FieldSpec, RecordSchema
+from repro.sitegen.site import RowLayout, SiteSpec
+
+__all__ = [
+    "build_superpages",
+    "build_yahoo_people",
+    "build_canada411",
+    "build_sprint_canada",
+]
+
+
+def _us_schema(region: str) -> RecordSchema:
+    """name / address / "City, ST ZIP" / phone."""
+
+    def citystatezip(rng: SiteRng) -> str:
+        return f"{datagen.city_state(rng, region)} {datagen.zip_code(rng)}"
+
+    return RecordSchema(
+        fields=[
+            FieldSpec("name", datagen.full_person_name),
+            FieldSpec("address", datagen.street_address, missing_rate=0.1),
+            FieldSpec("citystate", citystatezip),
+            FieldSpec("phone", datagen.phone_number),
+        ]
+    )
+
+
+def _ca_schema(region: str) -> RecordSchema:
+    def citystate(rng: SiteRng) -> str:
+        return datagen.city_state(rng, region)
+
+    def ca_phone(rng: SiteRng) -> str:
+        return datagen.phone_number(rng, area_codes=("416", "613", "905"))
+
+    return RecordSchema(
+        fields=[
+            FieldSpec("name", datagen.full_person_name),
+            FieldSpec("address", datagen.street_address, missing_rate=0.15),
+            FieldSpec("citystate", citystate),
+            FieldSpec("phone", ca_phone),
+        ]
+    )
+
+
+def _listing_extras(rng: SiteRng, record: dict) -> list[tuple[str, str]]:
+    """Detail-only rows: a unique listing id and an update date."""
+    return [
+        ("Listing ID", f"LID-{rng.digits(6)}"),
+        ("Updated", datagen.admission_date(rng)),
+    ]
+
+
+def build_superpages(seed: int = 101) -> SiteSpec:
+    """Verizon Superpages (Figure 1's running example)."""
+    return SiteSpec(
+        name="superpages",
+        title="SuperPages",
+        domain="whitepages",
+        schema=_us_schema("OH"),
+        records_per_page=(3, 15),
+        layout=RowLayout.FLAT,
+        quirks=Quirks(duplicate_boilerplate=True),
+        seed=seed,
+        detail_labels={"citystate": "City / State"},
+        detail_extras=_listing_extras,
+    )
+
+
+def build_yahoo_people(seed: int = 102) -> SiteSpec:
+    """Yahoo People Search."""
+    return SiteSpec(
+        name="yahoo",
+        title="Yahoo People",
+        domain="whitepages",
+        schema=_us_schema("CA"),
+        records_per_page=(10, 10),
+        layout=RowLayout.GRID,
+        ad_table=True,
+        quirks=Quirks(
+            duplicate_boilerplate=True,
+            ad_contamination=(0,),
+        ),
+        seed=seed,
+        detail_extras=_listing_extras,
+    )
+
+
+def _canada411_post(rng: SiteRng, records: list[dict], page: int) -> None:
+    """Share towns across records; page 2 shares a single town.
+
+    Towns are fixed constants disjoint between the two pages, so the
+    shared-town extract can never be dropped by the appears-on-all-
+    list-pages filter — it must survive to trigger the missing-detail
+    inconsistency on page 2.
+    """
+    if page == 1:
+        for record in records:
+            record["citystate"] = "Sudbury, ON"
+        return
+    for record in records:
+        record["citystate"] = rng.pick(["Toronto, ON", "Ottawa, ON"])
+
+
+def build_canada411(seed: int = 103) -> SiteSpec:
+    """Canada411, with the paper's missing-town inconsistency."""
+    return SiteSpec(
+        name="canada411",
+        title="Canada411",
+        domain="whitepages",
+        schema=_ca_schema("ON"),
+        records_per_page=(25, 5),
+        layout=RowLayout.FLAT,
+        quirks=Quirks(
+            missing_detail_field=MissingDetailField(
+                field="citystate", page=1, record=2
+            ),
+        ),
+        seed=seed,
+        post_process=_canada411_post,
+        detail_extras=_listing_extras,
+    )
+
+
+def _sprint_post(rng: SiteRng, records: list[dict], page: int) -> None:
+    """Limit each page to a couple of towns (shared values)."""
+    towns = [records[0]["citystate"], records[-1]["citystate"]]
+    towns = list(dict.fromkeys(towns))
+    for record in records:
+        record["citystate"] = rng.pick(towns)
+
+
+def build_sprint_canada(seed: int = 104) -> SiteSpec:
+    """SprintCanada directory (clean grid site)."""
+    return SiteSpec(
+        name="sprintcanada",
+        title="SprintCanada",
+        domain="whitepages",
+        schema=_ca_schema("BC"),
+        records_per_page=(20, 20),
+        layout=RowLayout.GRID,
+        ad_table=True,
+        seed=seed,
+        post_process=_sprint_post,
+        detail_extras=_listing_extras,
+    )

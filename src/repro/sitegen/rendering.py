@@ -1,0 +1,67 @@
+"""HTML assembly helpers for the site generator.
+
+:class:`HtmlBuilder` is an append-only page assembler that exposes the
+current character offset, which the site generator uses to record the
+ground-truth span of every rendered record row — evaluation later maps
+extracts to true records purely by these spans, independent of layout.
+"""
+
+from __future__ import annotations
+
+from repro.sitegen.rng import SiteRng
+from repro.webdoc.entities import encode_entities
+
+__all__ = ["HtmlBuilder", "ad_sentence", "link", "NOISE_WORDS"]
+
+#: Advertisement / filler lexicon for per-page noise.  Lowercase and
+#: deliberately disjoint from the record-data vocabularies.
+NOISE_WORDS = [
+    "save", "today", "offer", "special", "limited", "deal", "online",
+    "shipping", "free", "instant", "bonus", "member", "exclusive",
+    "discount", "upgrade", "premium", "trial", "subscribe", "now",
+    "click", "here", "learn", "more", "sponsored", "partner", "best",
+    "rates", "quotes", "compare", "lowest", "guaranteed", "approval",
+]
+
+
+class HtmlBuilder:
+    """Append-only HTML assembler with offset tracking."""
+
+    def __init__(self) -> None:
+        self._parts: list[str] = []
+        self._length = 0
+
+    @property
+    def offset(self) -> int:
+        """Character offset where the next append will land."""
+        return self._length
+
+    def add(self, text: str) -> "HtmlBuilder":
+        """Append raw HTML."""
+        self._parts.append(text)
+        self._length += len(text)
+        return self
+
+    def add_text(self, text: str) -> "HtmlBuilder":
+        """Append text content, entity-escaped."""
+        return self.add(encode_entities(text))
+
+    def build(self) -> str:
+        """The assembled document."""
+        return "".join(self._parts)
+
+
+def link(url: str, text: str) -> str:
+    """An anchor element."""
+    return f'<a href="{url}">{encode_entities(text)}</a>'
+
+
+def ad_sentence(rng: SiteRng, word_count: int = 8) -> str:
+    """A nonsense advertisement sentence (per-page noise).
+
+    Words are sampled *with* replacement so most repeat somewhere on
+    the page or are absent from the sibling page — either way they
+    stay out of the unique-token template.
+    """
+    words = [rng.pick(NOISE_WORDS) for _ in range(word_count)]
+    return " ".join(words)

@@ -1,0 +1,92 @@
+"""Record schemas: what fields a site's records carry.
+
+A :class:`RecordSchema` generates record value dictionaries.  The
+paper's modelling assumption — "in all of the domains that we have
+examined the first column, which usually contains the most salient
+identifier, such as the Name, is never missing" (Section 5.1) — is
+enforced here: the schema refuses a ``missing_rate`` on its first
+field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.exceptions import SiteGenError
+from repro.sitegen.rng import SiteRng
+
+__all__ = ["FieldSpec", "RecordSchema"]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a record.
+
+    Attributes:
+        name: field name (also the key in record value dicts).
+        make: value generator.
+        missing_rate: probability the field is absent from a record
+            entirely (from both views) — the "missing columns" the
+            period model accommodates.
+        detail_only: shown on detail pages but never on list rows.
+        list_only: shown on list rows but never on detail pages (such
+            values can never be matched, exercising the unmatched-
+            extract attachment rule).
+    """
+
+    name: str
+    make: Callable[[SiteRng], str]
+    missing_rate: float = 0.0
+    detail_only: bool = False
+    list_only: bool = False
+
+
+@dataclass
+class RecordSchema:
+    """An ordered collection of field specs."""
+
+    fields: list[FieldSpec]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise SiteGenError("a schema needs at least one field")
+        names = [spec.name for spec in self.fields]
+        if len(set(names)) != len(names):
+            raise SiteGenError(f"duplicate field names in schema: {names}")
+        first = self.fields[0]
+        if first.missing_rate > 0:
+            raise SiteGenError(
+                "the first (identifier) field must never be missing "
+                f"(got missing_rate={first.missing_rate} on {first.name!r})"
+            )
+        if first.detail_only or first.list_only:
+            raise SiteGenError(
+                "the first field must appear on both list and detail pages"
+            )
+
+    @property
+    def list_fields(self) -> list[str]:
+        """Field names shown on list rows, in order."""
+        return [spec.name for spec in self.fields if not spec.detail_only]
+
+    @property
+    def detail_fields(self) -> list[str]:
+        """Field names shown on detail pages, in order."""
+        return [spec.name for spec in self.fields if not spec.list_only]
+
+    def field_named(self, name: str) -> FieldSpec:
+        """Look up a field spec by name."""
+        for spec in self.fields:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no field named {name!r}")
+
+    def generate(self, rng: SiteRng) -> dict[str, str]:
+        """Generate one record's values (missing fields omitted)."""
+        values: dict[str, str] = {}
+        for spec in self.fields:
+            if spec.missing_rate > 0 and rng.chance(spec.missing_rate):
+                continue
+            values[spec.name] = spec.make(rng)
+        return values

@@ -1,0 +1,87 @@
+"""Parameterized sites for sweep experiments.
+
+The corpus fixes each site's corruption level to what the paper
+reports; sweep experiments need the level as a dial instead.  The
+builders here produce families of sites varying one factor:
+
+* :func:`noisy_site` — a corrections-style site with ``plants``
+  far-pointing planted mentions per page (the inconsistency type that
+  breaks hard constraints), for robustness curves;
+* :func:`sized_site` — a clean grid site with a chosen record count,
+  for timing/scaling curves.
+"""
+
+from __future__ import annotations
+
+from repro.sitegen import datagen
+from repro.sitegen.corruptions import PlantedMention, Quirks
+from repro.sitegen.domains.corrections import (
+    _corrections_extras,
+    _inmate_schema,
+    _no_categorical_singletons,
+)
+from repro.sitegen.domains.propertytax import _parcel_schema, _tax_extras
+from repro.sitegen.site import GeneratedSite, RowLayout, SiteSpec
+
+__all__ = ["noisy_site", "sized_site"]
+
+
+def noisy_site(
+    plants: int, records: int = 15, seed: int = 900
+) -> GeneratedSite:
+    """A corrections-style site with ``plants`` inconsistencies per page.
+
+    Each plant quotes one record's name on one far detail page (like
+    Michigan's stray "Parole"), so `plants` counts independent hard
+    conflicts the solvers must survive.
+    """
+    mentions: list[PlantedMention] = []
+    for page in range(2):
+        for index in range(plants):
+            # Sources land on even rows, which the stride-2 case
+            # mismatch renders ALL-CAPS: their names never match their
+            # own detail page, so the planted mention is the extract's
+            # *only* (and wrong) evidence — a genuine hard conflict.
+            source = (2 + index * 4) % records
+            source -= source % 2
+            target = (source + records // 2) % records
+            mentions.append(
+                PlantedMention(
+                    page=page,
+                    field="name",
+                    source_record=source,
+                    target_records=(target,),
+                )
+            )
+    spec = SiteSpec(
+        name=f"sweep-noise-{plants}",
+        title="Sweep Corrections",
+        domain="corrections",
+        schema=_inmate_schema("S"),
+        records_per_page=(records, records),
+        layout=RowLayout.GRID,
+        quirks=Quirks(
+            case_mismatch_fields=("name",),
+            case_mismatch_stride=2,
+            planted_mentions=tuple(mentions),
+        ),
+        seed=seed,
+        detail_extras=_corrections_extras,
+        post_process=_no_categorical_singletons,
+    )
+    return GeneratedSite(spec)
+
+
+def sized_site(records: int, seed: int = 901) -> GeneratedSite:
+    """A clean property-tax grid site with ``records`` rows per page."""
+    spec = SiteSpec(
+        name=f"sweep-size-{records}",
+        title="Sweep County Assessor",
+        domain="propertytax",
+        schema=_parcel_schema("PA"),
+        records_per_page=(records, records),
+        layout=RowLayout.GRID,
+        seed=seed,
+        detail_extras=_tax_extras,
+    )
+    return GeneratedSite(spec)

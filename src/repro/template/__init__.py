@@ -1,0 +1,27 @@
+"""Page-template substrate (paper Section 3.1)."""
+
+from repro.template.alignment import (
+    AlignedToken,
+    align_pages,
+    longest_increasing_subsequence,
+)
+from repro.template.finder import (
+    TemplateFinder,
+    TemplateFinderConfig,
+    TemplateVerdict,
+)
+from repro.template.model import PageTemplate, Slot
+from repro.template.table_slot import TableRegion, resolve_table_regions
+
+__all__ = [
+    "AlignedToken",
+    "PageTemplate",
+    "Slot",
+    "TableRegion",
+    "TemplateFinder",
+    "TemplateFinderConfig",
+    "TemplateVerdict",
+    "align_pages",
+    "longest_increasing_subsequence",
+    "resolve_table_regions",
+]

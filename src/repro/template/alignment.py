@@ -1,0 +1,153 @@
+"""Multi-page token alignment for template induction.
+
+The paper's template model (Section 3.1) is built from tokens that are
+*invariant from page to page*:
+
+    "The page template of a list page contains data that is shared by
+    all list pages and is invariant from page to page. ...  If any of
+    the tables on the pages contain more than two rows, the tags
+    specifying the structure of the table will not be part of the page
+    template, because they will appear more than once on that page."
+
+That passage pins down the algorithm family: a token belongs to the
+template only if it occurs **exactly once on every sample page**, and
+the template is a sequence of such tokens whose relative order is the
+same on every page.  (Row tags like ``<tr>`` occur many times per page,
+so they are excluded and the whole table falls into one slot; numbered
+entries like ``1.`` occur once per page on *every* page, so they join
+the template and fragment the table — exactly the failure the paper
+reports for the Amazon, BNBooks and Minnesota sites.)
+
+This module computes that alignment:
+
+1. count token texts per page; keep texts occurring exactly once on
+   every page (*candidates*);
+2. order candidates by their position on the first page;
+3. keep the subset whose order is consistent on every other page, via
+   repeated longest-increasing-subsequence (LIS) filtering.
+
+For two pages (the paper's experimental setup) a single LIS pass is
+exact; for more pages the iterative filter yields a common increasing
+subsequence that is maximal in practice.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.tokens.tokenizer import Token
+
+__all__ = ["AlignedToken", "align_pages", "longest_increasing_subsequence"]
+
+
+@dataclass(frozen=True, slots=True)
+class AlignedToken:
+    """One template token with its position on every sample page.
+
+    Attributes:
+        text: the token text (identical on every page by construction).
+        positions: ``positions[p]`` is the token's index in page ``p``'s
+            token stream.
+        is_html: whether this is a tag token.
+    """
+
+    text: str
+    positions: tuple[int, ...]
+    is_html: bool
+
+
+def longest_increasing_subsequence(values: list[int]) -> list[int]:
+    """Indices of one longest strictly-increasing subsequence of ``values``.
+
+    Standard patience-sorting algorithm, O(n log n).
+
+    >>> longest_increasing_subsequence([3, 1, 2, 5, 4])
+    [1, 2, 4]
+    """
+    if not values:
+        return []
+    # tails[k] = index into values of the smallest tail of an increasing
+    # subsequence of length k+1; parents reconstruct the chain.
+    tails: list[int] = []
+    parents = [-1] * len(values)
+    for i, value in enumerate(values):
+        # Binary search for the leftmost tail >= value.
+        lo, hi = 0, len(tails)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if values[tails[mid]] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        parents[i] = tails[lo - 1] if lo > 0 else -1
+        if lo == len(tails):
+            tails.append(i)
+        else:
+            tails[lo] = i
+    # Walk back from the last tail.
+    chain: list[int] = []
+    node = tails[-1]
+    while node != -1:
+        chain.append(node)
+        node = parents[node]
+    chain.reverse()
+    return chain
+
+
+def _unique_positions(tokens: list[Token]) -> dict[str, int]:
+    """Map each token text occurring exactly once to its stream index."""
+    counts = Counter(token.text for token in tokens)
+    return {
+        token.text: token.index
+        for token in tokens
+        if counts[token.text] == 1
+    }
+
+
+def align_pages(pages_tokens: list[list[Token]]) -> list[AlignedToken]:
+    """Align ``pages_tokens`` (>= 2 token streams) into template tokens.
+
+    Returns the aligned tokens in page order.  The result may be empty
+    when the pages share no order-consistent unique tokens — the
+    "page template problem" of Table 4's note *a*.
+    """
+    if len(pages_tokens) < 2:
+        raise ValueError("alignment needs at least two pages")
+
+    per_page_unique = [_unique_positions(tokens) for tokens in pages_tokens]
+    # Candidate texts: unique on every page.
+    candidates = set(per_page_unique[0])
+    for unique in per_page_unique[1:]:
+        candidates &= set(unique)
+    if not candidates:
+        return []
+
+    html_texts = {
+        token.text
+        for token in pages_tokens[0]
+        if token.is_html and token.text in candidates
+    }
+
+    # Order by position on page 0; filter to order-consistency on each
+    # further page via LIS, iterating until stable (one pass suffices
+    # for two pages).
+    ordered = sorted(candidates, key=per_page_unique[0].__getitem__)
+    changed = True
+    while changed:
+        changed = False
+        for unique in per_page_unique[1:]:
+            positions = [unique[text] for text in ordered]
+            keep = longest_increasing_subsequence(positions)
+            if len(keep) != len(ordered):
+                ordered = [ordered[i] for i in keep]
+                changed = True
+
+    return [
+        AlignedToken(
+            text=text,
+            positions=tuple(unique[text] for unique in per_page_unique),
+            is_html=text in html_texts,
+        )
+        for text in ordered
+    ]

@@ -1,0 +1,264 @@
+"""Template induction with the paper's failure handling.
+
+:class:`TemplateFinder` induces a :class:`~repro.template.model.PageTemplate`
+from two or more list pages, then *judges* it.  The paper reports that
+"the page template finding algorithm performed poorly on five of the 12
+sites" and that in those cases "we have taken the entire text of the
+list page for analysis" (Section 6.2).  Judging therefore matters as
+much as inducing: the finder detects the two concrete pathologies the
+paper names —
+
+* **too little template**: the pages share almost no invariant tokens
+  (e.g. boilerplate repeated elsewhere on the page disqualifies it);
+* **fragmented table**: invariant tokens (numbered entries ``1.``,
+  ``2.`` ...) thread *through* the data region, shattering the table
+  across many small slots so no single slot holds the table.
+
+Both produce a :class:`TemplateVerdict` with ``ok=False``; the pipeline
+then falls back to whole-page analysis (Table 4 note *b*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import re
+
+from repro.core.exceptions import InsufficientPagesError
+from repro.template.alignment import align_pages
+from repro.template.model import PageTemplate, Slot
+from repro.webdoc.page import Page
+
+__all__ = ["TemplateFinder", "TemplateFinderConfig", "TemplateVerdict"]
+
+#: Enumeration-marker token shapes: "1.", "12.", "3)", bare "7".
+_ENUMERATION_RE = re.compile(r"^\d{1,3}[.)]?$")
+
+
+def _strip_enumerations(aligned):
+    """Drop enumeration-marker tokens from an alignment.
+
+    Numbered entries ("1.", "2.", ...) occur exactly once per page on
+    every page and thread through the data region; removing them
+    restores a contiguous table slot (the paper's future-work fix for
+    its note-*a* sites).
+    """
+    return [token for token in aligned if not _ENUMERATION_RE.match(token.text)]
+
+
+def _context_prune(aligned, pages_tokens, depth):
+    """Keep aligned tokens whose +/- ``depth`` context is page-invariant.
+
+    The context of an occurrence is the token *texts* at offsets
+    -depth..-1 and +1..+depth around it (out-of-range positions use a
+    sentinel).  A candidate survives only if every page shows the same
+    context — see :class:`TemplateFinderConfig.context_depth`.
+    """
+    sentinel = "\x00"
+    kept = []
+    for token in aligned:
+        contexts = set()
+        for page_index, position in enumerate(token.positions):
+            stream = pages_tokens[page_index]
+            window = tuple(
+                stream[position + offset].text
+                if 0 <= position + offset < len(stream)
+                else sentinel
+                for offset in range(-depth, depth + 1)
+                if offset != 0
+            )
+            contexts.add(window)
+        if len(contexts) == 1:
+            kept.append(token)
+    return kept
+
+
+@dataclass(frozen=True)
+class TemplateFinderConfig:
+    """Knobs for template induction and judging.
+
+    Attributes:
+        min_template_tokens: below this many aligned tokens the
+            template is considered not found.
+        min_text_tokens: the template must contain at least this many
+            visible-text (non-tag) tokens.  A page pair always shares
+            its structural skeleton (``<html>``, ``<head>``, ...), so
+            a tags-only template carries no anchoring information and
+            counts as not found.
+        min_table_fraction: the chosen table slot must hold at least
+            this fraction of all slot text tokens on *every* page;
+            otherwise the table is fragmented and the template is
+            rejected.
+        max_slot_count: a template with more slots than this is
+            suspicious on its own (a well-templated list page has a
+            handful of header/footer slots plus one table slot).
+        strip_enumerations: drop enumeration-marker tokens ("1.",
+            "2.", ..., bare ordinals) from the template before
+            judging.  This is the heuristic the paper proposes as
+            future work — "Another approach is to build a heuristic
+            into the page template algorithm that finds enumerated
+            entries.  We will try this approach in our future work."
+            (Section 6.2) — and it repairs the numbered-entry sites
+            (Amazon, BNBooks, Minnesota).  Off by default to stay
+            faithful to the evaluated system.
+        context_depth: a candidate template token is kept only when
+            the ``context_depth`` token texts on *each* side of it are
+            identical across every sample page.  Template-generated
+            tokens (chrome, column headers, numbered-entry markers)
+            sit in invariant markup context and survive; a data value
+            that happens to occur exactly once per page sits among
+            other varying data and is pruned, instead of threading
+            through the table and shattering it.  0 disables pruning.
+    """
+
+    min_template_tokens: int = 4
+    min_text_tokens: int = 3
+    min_table_fraction: float = 0.5
+    max_slot_count: int = 64
+    context_depth: int = 2
+    strip_enumerations: bool = False
+
+
+@dataclass(frozen=True)
+class TemplateVerdict:
+    """Outcome of template induction over a set of list pages.
+
+    Attributes:
+        template: the induced template (possibly empty).
+        ok: whether the template passed the quality checks.
+        reason: human-readable failure reason when ``ok`` is False.
+        table_slot_id: the slot chosen to contain the table, when ok.
+        slots_per_page: every slot instantiated on every page (kept for
+            diagnostics and for the table-slot chooser).
+    """
+
+    template: PageTemplate
+    ok: bool
+    reason: str = ""
+    table_slot_id: int | None = None
+    slots_per_page: tuple[tuple[Slot, ...], ...] = field(default=())
+
+
+class TemplateFinder:
+    """Induce and judge a page template from sample list pages."""
+
+    def __init__(self, config: TemplateFinderConfig | None = None) -> None:
+        self.config = config or TemplateFinderConfig()
+
+    def find(self, pages: list[Page]) -> TemplateVerdict:
+        """Induce a template from ``pages`` and judge its quality.
+
+        Raises:
+            InsufficientPagesError: fewer than two pages supplied.
+        """
+        if len(pages) < 2:
+            raise InsufficientPagesError(
+                f"template induction needs >= 2 pages, got {len(pages)}"
+            )
+
+        pages_tokens = [page.tokens() for page in pages]
+        aligned = align_pages(pages_tokens)
+        if self.config.context_depth > 0:
+            aligned = _context_prune(
+                aligned, pages_tokens, self.config.context_depth
+            )
+        if self.config.strip_enumerations:
+            aligned = _strip_enumerations(aligned)
+        template = PageTemplate(aligned=tuple(aligned), page_count=len(pages))
+
+        if len(aligned) < self.config.min_template_tokens:
+            return TemplateVerdict(
+                template=template,
+                ok=False,
+                reason=(
+                    f"template has {len(aligned)} tokens, fewer than the "
+                    f"required {self.config.min_template_tokens}"
+                ),
+            )
+
+        text_tokens = sum(1 for token in aligned if not token.is_html)
+        if text_tokens < self.config.min_text_tokens:
+            return TemplateVerdict(
+                template=template,
+                ok=False,
+                reason=(
+                    f"template has only {text_tokens} text tokens "
+                    f"(need {self.config.min_text_tokens}); a tags-only "
+                    "template cannot anchor the table"
+                ),
+            )
+
+        slots_per_page = tuple(
+            tuple(template.slots_for_page(index, page.tokens()))
+            for index, page in enumerate(pages)
+        )
+
+        if template.slot_count > self.config.max_slot_count:
+            return TemplateVerdict(
+                template=template,
+                ok=False,
+                reason=(
+                    f"template has {template.slot_count} slots, more than "
+                    f"the allowed {self.config.max_slot_count}"
+                ),
+                slots_per_page=slots_per_page,
+            )
+
+        table_slot_id = self._choose_table_slot(slots_per_page)
+        fragmented_page = self._fragmentation_check(slots_per_page, table_slot_id)
+        if fragmented_page is not None:
+            return TemplateVerdict(
+                template=template,
+                ok=False,
+                reason=(
+                    f"table fragmented: slot {table_slot_id} holds less than "
+                    f"{self.config.min_table_fraction:.0%} of page "
+                    f"{fragmented_page}'s slot text tokens"
+                ),
+                table_slot_id=table_slot_id,
+                slots_per_page=slots_per_page,
+            )
+
+        return TemplateVerdict(
+            template=template,
+            ok=True,
+            table_slot_id=table_slot_id,
+            slots_per_page=slots_per_page,
+        )
+
+    @staticmethod
+    def _choose_table_slot(
+        slots_per_page: tuple[tuple[Slot, ...], ...]
+    ) -> int:
+        """Paper heuristic: the table is in the slot with most text tokens.
+
+        Counts are summed over the sample pages so the choice is a
+        single slot id shared by all pages.
+        """
+        slot_count = len(slots_per_page[0])
+        totals = [0] * slot_count
+        for page_slots in slots_per_page:
+            for slot in page_slots:
+                totals[slot.slot_id] += slot.text_token_count
+        return max(range(slot_count), key=totals.__getitem__)
+
+    def _fragmentation_check(
+        self,
+        slots_per_page: tuple[tuple[Slot, ...], ...],
+        table_slot_id: int,
+    ) -> int | None:
+        """Return the index of a page whose table slot is fragmented.
+
+        On each page, the chosen slot must contain at least
+        ``min_table_fraction`` of all slot text tokens.  Numbered
+        entries split the table across many slots, so the biggest slot
+        holds only ~1/rows of the text and this check fires.
+        """
+        for page_index, page_slots in enumerate(slots_per_page):
+            total = sum(slot.text_token_count for slot in page_slots)
+            if total == 0:
+                continue
+            chosen = page_slots[table_slot_id].text_token_count
+            if chosen / total < self.config.min_table_fraction:
+                return page_index
+        return None

@@ -1,0 +1,74 @@
+"""Resolving the table region of a list page.
+
+Downstream stages (extract extraction, observation building) consume a
+:class:`TableRegion`: the token sub-stream of one list page believed to
+contain the table.  This module produces it from a
+:class:`~repro.template.finder.TemplateVerdict`, applying the paper's
+fallback:
+
+    "In cases where the template finding algorithm could not find a
+    good page template, we have taken the entire text of the list page
+    for analysis."  (Section 6.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.template.finder import TemplateVerdict
+from repro.tokens.tokenizer import Token
+from repro.webdoc.page import Page
+
+__all__ = ["TableRegion", "resolve_table_regions"]
+
+
+@dataclass(frozen=True)
+class TableRegion:
+    """The table-bearing token region of one list page.
+
+    Attributes:
+        page: the list page.
+        tokens: the tokens of the region, in stream order.
+        whole_page: True when the template fallback was taken and the
+            region is the entire page (Table 4 note *b*).
+        slot_id: the template slot the region came from, or None under
+            the fallback.
+    """
+
+    page: Page
+    tokens: tuple[Token, ...]
+    whole_page: bool
+    slot_id: int | None = None
+
+    @property
+    def text_token_count(self) -> int:
+        """Number of visible-text tokens in the region."""
+        return sum(1 for token in self.tokens if not token.is_html)
+
+
+def resolve_table_regions(
+    pages: list[Page], verdict: TemplateVerdict
+) -> list[TableRegion]:
+    """Produce one :class:`TableRegion` per list page.
+
+    When the verdict is good, each page's region is its instantiation
+    of the chosen table slot; otherwise every page falls back to its
+    whole token stream.
+    """
+    if not verdict.ok or verdict.table_slot_id is None:
+        return [
+            TableRegion(page=page, tokens=tuple(page.tokens()), whole_page=True)
+            for page in pages
+        ]
+    regions: list[TableRegion] = []
+    for page_index, page in enumerate(pages):
+        slot = verdict.slots_per_page[page_index][verdict.table_slot_id]
+        regions.append(
+            TableRegion(
+                page=page,
+                tokens=slot.tokens,
+                whole_page=False,
+                slot_id=verdict.table_slot_id,
+            )
+        )
+    return regions

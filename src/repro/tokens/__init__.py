@@ -1,0 +1,29 @@
+"""Tokenization substrate: the paper's 8 syntactic types and tokenizer."""
+
+from repro.tokens.tokenizer import (
+    DEFAULT_ALLOWED_PUNCT,
+    Token,
+    is_separator,
+    tokenize_html,
+    tokenize_text,
+)
+from repro.tokens.types import (
+    NUM_TOKEN_TYPES,
+    TOKEN_TYPE_ORDER,
+    TokenType,
+    classify_text,
+    type_vector,
+)
+
+__all__ = [
+    "DEFAULT_ALLOWED_PUNCT",
+    "NUM_TOKEN_TYPES",
+    "TOKEN_TYPE_ORDER",
+    "Token",
+    "TokenType",
+    "classify_text",
+    "is_separator",
+    "tokenize_html",
+    "tokenize_text",
+    "type_vector",
+]

@@ -1,0 +1,19 @@
+"""HTML substrate: entity decoding, lexing and the Page abstraction."""
+
+from repro.webdoc.entities import decode_entities, encode_entities
+from repro.webdoc.html import EventKind, HtmlEvent, lex_html, strip_tags
+from repro.webdoc.page import Page
+from repro.webdoc.store import PageSample, load_sample, save_sample
+
+__all__ = [
+    "EventKind",
+    "HtmlEvent",
+    "Page",
+    "PageSample",
+    "decode_entities",
+    "encode_entities",
+    "lex_html",
+    "load_sample",
+    "save_sample",
+    "strip_tags",
+]

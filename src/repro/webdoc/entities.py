@@ -1,0 +1,188 @@
+"""HTML escape-sequence (entity) decoding.
+
+The paper's tokenizer requires that "HTML escape sequences are converted
+to ASCII text" (Section 3.1) before syntactic types are assigned.  This
+module implements a self-contained decoder for named character
+references (``&amp;``), decimal references (``&#38;``) and hexadecimal
+references (``&#x26;``).
+
+The decoder is forgiving, mirroring browser behaviour on the kind of
+2004-era HTML the paper studied:
+
+* unknown named references are left verbatim (``&bogus;`` stays
+  ``&bogus;``),
+* the trailing semicolon is optional for the handful of legacy names
+  browsers accept without it (``&amp`` decodes to ``&``),
+* numeric references outside the Unicode range are left verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["decode_entities", "encode_entities", "NAMED_ENTITIES"]
+
+#: Named character references understood by the decoder.  This is the
+#: set observed in the wild on table-bearing pages plus the full
+#: Latin-1 block; it is intentionally small and auditable rather than
+#: the complete HTML5 table.
+NAMED_ENTITIES: dict[str, str] = {
+    # The big five.
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    # Whitespace and dashes.
+    "nbsp": " ",
+    "ensp": " ",
+    "emsp": " ",
+    "thinsp": " ",
+    "ndash": "–",
+    "mdash": "—",
+    "shy": "",
+    # Quotes.
+    "lsquo": "‘",
+    "rsquo": "’",
+    "sbquo": "‚",
+    "ldquo": "“",
+    "rdquo": "”",
+    "bdquo": "„",
+    "laquo": "«",
+    "raquo": "»",
+    # Symbols common in commercial listings.
+    "cent": "¢",
+    "pound": "£",
+    "curren": "¤",
+    "yen": "¥",
+    "euro": "€",
+    "copy": "©",
+    "reg": "®",
+    "trade": "™",
+    "sect": "§",
+    "para": "¶",
+    "middot": "·",
+    "bull": "•",
+    "hellip": "…",
+    "dagger": "†",
+    "Dagger": "‡",
+    "permil": "‰",
+    "prime": "′",
+    "Prime": "″",
+    "frasl": "⁄",
+    "deg": "°",
+    "plusmn": "±",
+    "sup1": "¹",
+    "sup2": "²",
+    "sup3": "³",
+    "frac14": "¼",
+    "frac12": "½",
+    "frac34": "¾",
+    "times": "×",
+    "divide": "÷",
+    "micro": "µ",
+    "not": "¬",
+    "iexcl": "¡",
+    "iquest": "¿",
+    "ordf": "ª",
+    "ordm": "º",
+    "brvbar": "¦",
+    "uml": "¨",
+    "acute": "´",
+    "cedil": "¸",
+    "macr": "¯",
+    # Latin-1 letters (both cases where they exist).
+    "Agrave": "À", "Aacute": "Á", "Acirc": "Â",
+    "Atilde": "Ã", "Auml": "Ä", "Aring": "Å",
+    "AElig": "Æ", "Ccedil": "Ç", "Egrave": "È",
+    "Eacute": "É", "Ecirc": "Ê", "Euml": "Ë",
+    "Igrave": "Ì", "Iacute": "Í", "Icirc": "Î",
+    "Iuml": "Ï", "ETH": "Ð", "Ntilde": "Ñ",
+    "Ograve": "Ò", "Oacute": "Ó", "Ocirc": "Ô",
+    "Otilde": "Õ", "Ouml": "Ö", "Oslash": "Ø",
+    "Ugrave": "Ù", "Uacute": "Ú", "Ucirc": "Û",
+    "Uuml": "Ü", "Yacute": "Ý", "THORN": "Þ",
+    "szlig": "ß", "agrave": "à", "aacute": "á",
+    "acirc": "â", "atilde": "ã", "auml": "ä",
+    "aring": "å", "aelig": "æ", "ccedil": "ç",
+    "egrave": "è", "eacute": "é", "ecirc": "ê",
+    "euml": "ë", "igrave": "ì", "iacute": "í",
+    "icirc": "î", "iuml": "ï", "eth": "ð",
+    "ntilde": "ñ", "ograve": "ò", "oacute": "ó",
+    "ocirc": "ô", "otilde": "õ", "ouml": "ö",
+    "oslash": "ø", "ugrave": "ù", "uacute": "ú",
+    "ucirc": "û", "uuml": "ü", "yacute": "ý",
+    "thorn": "þ", "yuml": "ÿ",
+}
+
+#: Legacy names browsers accept without a trailing semicolon.
+_SEMICOLON_OPTIONAL = frozenset(
+    {"amp", "lt", "gt", "quot", "nbsp", "copy", "reg"}
+)
+
+_ENTITY_RE = re.compile(
+    r"&(?:"
+    r"#[xX](?P<hex>[0-9a-fA-F]{1,6});"
+    r"|#(?P<dec>[0-9]{1,7});"
+    r"|(?P<named>[a-zA-Z][a-zA-Z0-9]{1,31});"
+    r"|(?P<bare>" + "|".join(sorted(_SEMICOLON_OPTIONAL, key=len, reverse=True)) + r")"
+    r")"
+)
+
+# Code points that are never valid as character references.
+_INVALID_RANGES = (
+    (0xD800, 0xDFFF),  # surrogates
+    (0x110000, 0x7FFFFFFF),  # beyond Unicode
+)
+
+
+def _codepoint_ok(value: int) -> bool:
+    return not any(lo <= value <= hi for lo, hi in _INVALID_RANGES)
+
+
+def _replace(match: re.Match[str]) -> str:
+    hex_digits = match.group("hex")
+    if hex_digits is not None:
+        value = int(hex_digits, 16)
+        return chr(value) if _codepoint_ok(value) else match.group(0)
+    dec_digits = match.group("dec")
+    if dec_digits is not None:
+        value = int(dec_digits)
+        return chr(value) if _codepoint_ok(value) else match.group(0)
+    name = match.group("named")
+    if name is not None:
+        replacement = NAMED_ENTITIES.get(name)
+        return replacement if replacement is not None else match.group(0)
+    # Bare legacy reference without the semicolon.
+    return NAMED_ENTITIES[match.group("bare")]
+
+
+def decode_entities(text: str) -> str:
+    """Decode HTML character references in ``text``.
+
+    >>> decode_entities("Barnes &amp; Noble")
+    'Barnes & Noble'
+    >>> decode_entities("&#65;&#x42;")
+    'AB'
+    >>> decode_entities("&unknown;")
+    '&unknown;'
+    """
+    if "&" not in text:
+        return text
+    return _ENTITY_RE.sub(_replace, text)
+
+
+_ENCODE_MAP = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+_ENCODE_RE = re.compile(r"[&<>\"]")
+
+
+def encode_entities(text: str) -> str:
+    """Escape the characters that are unsafe in HTML text content.
+
+    Used by the site generator so that synthetic pages round-trip
+    through the decoder.
+
+    >>> encode_entities('Barnes & Noble "books" <new>')
+    'Barnes &amp; Noble &quot;books&quot; &lt;new&gt;'
+    """
+    return _ENCODE_RE.sub(lambda m: _ENCODE_MAP[m.group(0)], text)

@@ -1,0 +1,23 @@
+"""Wrapper induction from one segmented sample.
+
+The paper's motivating scenario (Sections 1, 3) is programmatic access
+to a whole site, but its method needs each list page's detail pages.
+This subpackage closes the loop: from one list page segmented *with*
+detail pages, induce a :class:`~repro.wrapper.induce.RowWrapper` — a
+record-boundary pattern plus column profiles — and apply it to further
+list pages of the same site *without fetching any detail pages*.
+(This is the wrapper the paper's own wrapper-induction lineage, Lerman
+et al. JAIR 2003, would maintain; here it is bootstrapped fully
+automatically.)
+"""
+
+from repro.wrapper.apply import WrappedRow, apply_wrapper, score_wrapped_rows
+from repro.wrapper.induce import RowWrapper, induce_wrapper
+
+__all__ = [
+    "RowWrapper",
+    "WrappedRow",
+    "apply_wrapper",
+    "induce_wrapper",
+    "score_wrapped_rows",
+]

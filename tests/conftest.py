@@ -1,0 +1,101 @@
+"""Shared fixtures: the paper's running example and small sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extraction.extracts import Extract
+from repro.extraction.observations import Observation, ObservationTable
+from repro.sitegen.corpus import build_corpus
+from repro.tokens.tokenizer import tokenize_text
+from repro.webdoc.page import Page
+
+#: The paper's Table 1: extracts of the Superpages list page with the
+#: detail pages (r1, r2, r3 -> 0, 1, 2) and positions they were
+#: observed at.  E_1/E_5 and E_4/E_8 are the duplicated name/phone.
+PAPER_TABLE1 = [
+    ("John Smith", {0: (730,), 1: (536,)}),
+    ("221 Washington", {0: (772,)}),
+    ("New Holland", {0: (812,)}),
+    ("(740) 335-5555", {0: (846,), 1: (578,)}),
+    ("John Smith", {0: (730,), 1: (536,)}),
+    ("221R Washington", {1: (608,)}),
+    ("Washington", {1: (642,)}),
+    ("(740) 335-5555", {0: (846,), 1: (578,)}),
+    ("George W. Smith", {2: (700,)}),
+    ("Findlay, OH", {2: (750,)}),
+    ("(419) 423-1212", {2: (800,)}),
+]
+
+#: The correct segmentation of PAPER_TABLE1 (paper Table 2).
+PAPER_TABLE2 = {
+    0: [0, 1, 2, 3],
+    1: [4, 5, 6, 7],
+    2: [8, 9, 10],
+}
+
+
+def build_observation_table(
+    data: list[tuple[str, dict[int, tuple[int, ...]]]],
+    detail_count: int,
+) -> ObservationTable:
+    """Build an ObservationTable directly from (text, positions) rows."""
+    extracts: list[Extract] = []
+    observations: list[Observation] = []
+    for index, (text, positions) in enumerate(data):
+        extract = Extract(
+            index=index,
+            tokens=tuple(tokenize_text(text)),
+            start_token_index=index * 10,
+        )
+        extracts.append(extract)
+        observations.append(
+            Observation(
+                extract=extract,
+                seq=len(observations),
+                detail_pages=frozenset(positions),
+                positions=dict(positions),
+            )
+        )
+    return ObservationTable(
+        extracts=extracts,
+        observations=observations,
+        detail_count=detail_count,
+    )
+
+
+@pytest.fixture
+def paper_table() -> ObservationTable:
+    """The paper's Table 1 as an observation table."""
+    return build_observation_table(PAPER_TABLE1, detail_count=3)
+
+
+def make_list_pages(rows_per_page: list[list[list[str]]]) -> list[Page]:
+    """Tiny synthetic list pages: one <table> row per record."""
+    pages = []
+    for page_number, rows in enumerate(rows_per_page):
+        cells = "".join(
+            "<tr>" + "".join(f"<td>{value}</td>" for value in row) + "</tr>"
+            for row in rows
+        )
+        html = (
+            "<html><body><h1>Results Page</h1>"
+            "<p>Showing matched entries below now</p>"
+            f"<table>{cells}</table>"
+            "<p>Copyright 2004 footer legal text</p></body></html>"
+        )
+        pages.append(Page(url=f"list{page_number}.html", html=html, kind="list"))
+    return pages
+
+
+def make_detail_page(number: int, values: list[str]) -> Page:
+    """Tiny synthetic detail page listing field values."""
+    body = "".join(f"<p>{value}</p>" for value in values)
+    html = f"<html><body><h2>Record Detail</h2>{body}</body></html>"
+    return Page(url=f"detail{number}.html", html=html, kind="detail")
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full 12-site corpus (rendered once per test session)."""
+    return build_corpus()

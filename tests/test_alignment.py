@@ -1,0 +1,138 @@
+"""Unit + property tests for multi-page alignment and LIS."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.template.alignment import (
+    align_pages,
+    longest_increasing_subsequence,
+)
+from repro.tokens.tokenizer import tokenize_html
+
+
+def lis_brute_force(values):
+    """Longest strictly increasing subsequence length by enumeration."""
+    best = 0
+    for size in range(len(values), 0, -1):
+        for combo in itertools.combinations(range(len(values)), size):
+            chosen = [values[i] for i in combo]
+            if all(a < b for a, b in zip(chosen, chosen[1:])):
+                return size
+    return best
+
+
+class TestLis:
+    def test_simple(self):
+        assert longest_increasing_subsequence([3, 1, 2, 5, 4]) == [1, 2, 4]
+
+    def test_empty(self):
+        assert longest_increasing_subsequence([]) == []
+
+    def test_single(self):
+        assert longest_increasing_subsequence([7]) == [0]
+
+    def test_already_sorted(self):
+        assert longest_increasing_subsequence([1, 2, 3]) == [0, 1, 2]
+
+    def test_reverse_sorted_picks_one(self):
+        result = longest_increasing_subsequence([3, 2, 1])
+        assert len(result) == 1
+
+    def test_strictness_on_duplicates(self):
+        result = longest_increasing_subsequence([2, 2, 2])
+        assert len(result) == 1
+
+    @given(st.lists(st.integers(0, 20), max_size=10))
+    def test_result_is_increasing_subsequence(self, values):
+        indices = longest_increasing_subsequence(values)
+        assert indices == sorted(indices)
+        chosen = [values[i] for i in indices]
+        assert all(a < b for a, b in zip(chosen, chosen[1:]))
+
+    @given(st.lists(st.integers(0, 20), max_size=9))
+    def test_result_is_maximal(self, values):
+        indices = longest_increasing_subsequence(values)
+        if values:
+            assert len(indices) == lis_brute_force(values)
+
+
+def pages(*docs):
+    return [tokenize_html(doc) for doc in docs]
+
+
+class TestAlignPages:
+    def test_identical_chrome_different_data(self):
+        aligned = align_pages(
+            pages(
+                "<h1>Results Here</h1><p>Alpha Beta</p>",
+                "<h1>Results Here</h1><p>Gamma Delta</p>",
+            )
+        )
+        texts = [token.text for token in aligned]
+        assert "Results" in texts and "Here" in texts
+        assert "Alpha" not in texts and "Gamma" not in texts
+
+    def test_repeated_tokens_excluded(self):
+        # "x" twice on page 0: not unique there, so never template.
+        aligned = align_pages(pages("<p>x y x</p>", "<p>x y q</p>"))
+        texts = [token.text for token in aligned]
+        assert "x" not in texts
+        assert "y" in texts
+
+    def test_order_inconsistent_tokens_filtered(self):
+        # "a b" on page 0 but "b a" on page 1: only one can survive.
+        aligned = align_pages(pages("<p>a b</p>", "<p>b a</p>"))
+        texts = [token.text for token in aligned]
+        assert len([t for t in texts if t in ("a", "b")]) == 1
+
+    def test_positions_point_at_each_page(self):
+        streams = pages("<h1>Top</h1>mid", "<h1>Top</h1>other")
+        aligned = align_pages(streams)
+        top = next(token for token in aligned if token.text == "Top")
+        for page_index, position in enumerate(top.positions):
+            assert streams[page_index][position].text == "Top"
+
+    def test_three_pages(self):
+        aligned = align_pages(
+            pages("<h1>Hdr</h1>a", "<h1>Hdr</h1>b", "<h1>Hdr</h1>c")
+        )
+        texts = [token.text for token in aligned]
+        assert "Hdr" in texts
+        assert not any(t in texts for t in "abc")
+
+    def test_no_common_tokens(self):
+        assert align_pages(pages("alpha beta", "gamma delta")) == []
+
+    def test_single_page_rejected(self):
+        with pytest.raises(ValueError):
+            align_pages(pages("only one"))
+
+    def test_is_html_flag(self):
+        aligned = align_pages(pages("<h1>T</h1>a", "<h1>T</h1>b"))
+        by_text = {token.text: token for token in aligned}
+        assert by_text["<h1>"].is_html
+        assert not by_text["T"].is_html
+
+    @given(
+        st.lists(
+            st.sampled_from(["alpha", "beta", "gamma", "delta", "eps"]),
+            min_size=0,
+            max_size=8,
+        ),
+        st.lists(
+            st.sampled_from(["alpha", "beta", "gamma", "delta", "eps"]),
+            min_size=0,
+            max_size=8,
+        ),
+    )
+    def test_alignment_order_consistent_on_both_pages(self, words_a, words_b):
+        streams = pages(" ".join(words_a), " ".join(words_b))
+        aligned = align_pages(streams)
+        for page_index in range(2):
+            positions = [token.positions[page_index] for token in aligned]
+            assert positions == sorted(positions)
+            assert len(set(positions)) == len(positions)

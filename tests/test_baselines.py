@@ -1,0 +1,126 @@
+"""Tests for the layout-based baseline segmenters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.grammar import (
+    GrammarSegmenter,
+    induce_row_template,
+    row_matches_template,
+)
+from repro.baselines.pat_tree import PatternSegmenter, best_repeated_pattern
+from repro.baselines.runner import run_baseline_on_site
+from repro.baselines.tag_heuristic import (
+    TagHeuristicSegmenter,
+    choose_row_tag,
+    split_rows_at_tag,
+)
+from repro.sitegen.corpus import build_site
+from repro.tokens.tokenizer import tokenize_html
+
+
+class TestChooseRowTag:
+    def test_tr_preferred(self):
+        tokens = tokenize_html("<div><tr>a</tr><tr>b</tr><div>c</div></div>")
+        assert choose_row_tag(tokens) == "<tr>"
+
+    def test_falls_back_down_priority(self):
+        tokens = tokenize_html("<p>a</p><p>b</p>")
+        assert choose_row_tag(tokens) == "<p>"
+
+    def test_none_when_nothing_repeats(self):
+        tokens = tokenize_html("<span>a</span>")
+        assert choose_row_tag(tokens) is None
+
+
+class TestSplitRows:
+    def test_ranges_cover_from_first_tag(self):
+        tokens = tokenize_html("x<tr>a</tr><tr>b</tr>")
+        ranges = split_rows_at_tag(tokens, "<tr>")
+        assert len(ranges) == 2
+        assert ranges[0][0] < ranges[0][1] <= ranges[1][0]
+
+    def test_no_occurrences(self):
+        tokens = tokenize_html("plain text")
+        assert split_rows_at_tag(tokens, "<tr>") == []
+
+
+class TestBestRepeatedPattern:
+    def test_finds_row_pattern(self):
+        html = "".join(f"<tr><td>r{i}</td></tr>" for i in range(5))
+        pattern = best_repeated_pattern(tokenize_html(html))
+        assert pattern is not None
+        assert len(pattern.occurrences) == 5
+
+    def test_none_on_tiny_pages(self):
+        assert best_repeated_pattern(tokenize_html("<p>once</p>")) is None
+
+    def test_occurrences_non_overlapping(self):
+        html = "<br><br><br><br><br><br>"
+        pattern = best_repeated_pattern(tokenize_html(html))
+        assert pattern is not None
+        gaps = [
+            b - a
+            for a, b in zip(pattern.occurrences, pattern.occurrences[1:])
+        ]
+        assert all(gap >= len(pattern.tags) for gap in gaps)
+
+
+class TestRowTemplate:
+    def test_induce_common_tokens(self):
+        rows = [
+            tokenize_html("<td>Ann</td><td>1</td>"),
+            tokenize_html("<td>Bob</td><td>2</td>"),
+        ]
+        template = induce_row_template(rows)
+        assert template.count("<td>") == 2
+        assert "Ann" not in template
+
+    def test_empty_rows(self):
+        assert induce_row_template([]) == []
+
+    def test_row_matches(self):
+        rows = [
+            tokenize_html("<td>Ann</td><td>1</td>"),
+            tokenize_html("<td>Bob</td><td>2</td>"),
+        ]
+        template = induce_row_template(rows)
+        assert row_matches_template(rows[0], template)
+        assert not row_matches_template(
+            tokenize_html("<p>unrelated</p>"), template
+        )
+
+    def test_empty_template_matches_nothing(self):
+        assert not row_matches_template(tokenize_html("<td>x</td>"), [])
+
+
+class TestBaselinesOnSites:
+    @pytest.mark.parametrize(
+        "baseline_factory",
+        [TagHeuristicSegmenter, PatternSegmenter, GrammarSegmenter],
+    )
+    def test_clean_grid_site_segmented_well(self, baseline_factory):
+        site = build_site("allegheny")
+        rows = run_baseline_on_site(site, baseline_factory())
+        total_cor = sum(row.score.cor for row in rows)
+        assert total_cor >= 30  # 40 records; layout baselines do fine on grids
+
+    def test_tag_heuristic_fails_on_flat_layout(self):
+        # The FLAT layout uses <br> for fields and records alike: the
+        # naive tag splitter shatters every record (the paper's point).
+        site = build_site("lee")
+        rows = run_baseline_on_site(site, TagHeuristicSegmenter())
+        total_cor = sum(row.score.cor for row in rows)
+        assert total_cor == 0
+
+    def test_methods_metadata_present(self):
+        site = build_site("ohio")
+        rows = run_baseline_on_site(site, TagHeuristicSegmenter())
+        assert all(row.method == "tag-heuristic" for row in rows)
+        assert rows[0].meta.get("row_tag") is not None
+
+    def test_grammar_reports_template(self):
+        site = build_site("ohio")
+        rows = run_baseline_on_site(site, GrammarSegmenter())
+        assert rows[0].meta["template"] is not None

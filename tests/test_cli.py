@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["segment", "nonexistent"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["segment", "ohio", "--method", "x"])
+
+
+class TestSites:
+    def test_lists_all_twelve(self):
+        code, output = run_cli("sites")
+        assert code == 0
+        for name in ("amazon", "superpages", "ohio", "lee"):
+            assert name in output
+        assert output.count("\n") == 13  # header + 12 rows
+
+
+class TestSegment:
+    def test_clean_site_exit_zero(self):
+        code, output = run_cli("segment", "lee", "--method", "csp")
+        assert code == 0
+        assert "Cor=16" in output
+        assert "r0:" in output
+
+    def test_page_filter(self):
+        code, output = run_cli(
+            "segment", "lee", "--method", "csp", "--page", "1"
+        )
+        assert "lee-list1.html" in output
+        assert "lee-list0.html" not in output
+
+    def test_imperfect_site_exit_nonzero(self):
+        code, output = run_cli("segment", "michigan", "--method", "csp")
+        assert code == 1  # page 2 has InC records
+
+
+class TestShow:
+    def test_list_page_html(self):
+        code, output = run_cli("show", "superpages")
+        assert code == 0
+        assert output.startswith("<html>")
+        assert "SuperPages" in output
+
+    def test_detail_page_html(self):
+        code, output = run_cli("show", "ohio", "--detail", "0")
+        assert code == 0
+        assert "Full Record" in output

@@ -1,0 +1,98 @@
+"""Tests for the pseudo-boolean constraint representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csp.constraints import ConstraintSystem, LinearConstraint, Relation
+
+
+class TestLinearConstraint:
+    def test_lhs(self):
+        constraint = LinearConstraint(
+            terms=((1, 0), (-1, 1), (2, 2)), relation=Relation.LE, bound=1
+        )
+        assert constraint.lhs([1, 1, 1]) == 2
+
+    @pytest.mark.parametrize(
+        "relation,lhs,bound,expected",
+        [
+            (Relation.LE, 3, 1, 2),
+            (Relation.LE, 1, 1, 0),
+            (Relation.LE, 0, 1, 0),
+            (Relation.GE, 0, 1, 1),
+            (Relation.GE, 2, 1, 0),
+            (Relation.EQ, 3, 1, 2),
+            (Relation.EQ, 0, 1, 1),
+            (Relation.EQ, 1, 1, 0),
+        ],
+    )
+    def test_violation_of(self, relation, lhs, bound, expected):
+        constraint = LinearConstraint(
+            terms=((1, 0),), relation=relation, bound=bound
+        )
+        assert constraint.violation_of(lhs) == expected
+
+    def test_is_satisfied(self):
+        constraint = LinearConstraint(
+            terms=((1, 0), (1, 1)), relation=Relation.EQ, bound=1
+        )
+        assert constraint.is_satisfied([1, 0])
+        assert constraint.is_satisfied([0, 1])
+        assert not constraint.is_satisfied([1, 1])
+        assert not constraint.is_satisfied([0, 0])
+
+    def test_str_contains_label(self):
+        constraint = LinearConstraint(
+            terms=((1, 0),), relation=Relation.LE, bound=1, label="uniq[0]"
+        )
+        assert "uniq[0]" in str(constraint)
+
+
+class TestConstraintSystem:
+    def test_add_validates_var_range(self):
+        system = ConstraintSystem(num_vars=2)
+        with pytest.raises(ValueError):
+            system.add([(1, 5)], Relation.LE, 1)
+
+    def test_add_rejects_repeated_var(self):
+        system = ConstraintSystem(num_vars=2)
+        with pytest.raises(ValueError):
+            system.add([(1, 0), (1, 0)], Relation.LE, 1)
+
+    def test_hard_soft_split(self):
+        system = ConstraintSystem(num_vars=2)
+        system.add([(1, 0)], Relation.EQ, 1, hard=True)
+        system.add([(1, 1)], Relation.GE, 1, hard=False)
+        assert system.is_satisfied([1, 0])  # soft violation ignored
+        assert system.hard_violation([1, 0]) == 0
+        assert system.total_violation([1, 0]) == 1
+        assert len(system.hard_constraints) == 1
+
+    def test_violated_lists_offenders(self):
+        system = ConstraintSystem(num_vars=2)
+        satisfied = system.add([(1, 0)], Relation.LE, 1, label="ok")
+        violated = system.add([(1, 0), (1, 1)], Relation.LE, 1, label="bad")
+        offenders = system.violated([1, 1])
+        assert offenders == [violated]
+
+    def test_weighted_violation(self):
+        system = ConstraintSystem(num_vars=1)
+        system.add([(1, 0)], Relation.EQ, 0, weight=2.5)
+        assert system.total_violation([1]) == 2.5
+
+    def test_stats_by_label(self):
+        system = ConstraintSystem(num_vars=3)
+        system.add([(1, 0)], Relation.EQ, 1, label="uniq[0]")
+        system.add([(1, 1)], Relation.EQ, 1, label="uniq[1]")
+        system.add([(1, 0), (1, 2)], Relation.LE, 1, label="pos[0,5]")
+        stats = system.stats()
+        assert stats["uniq"] == 2
+        assert stats["pos"] == 1
+        assert stats["variables"] == 3
+        assert stats["constraints"] == 3
+
+    def test_var_name_fallback(self):
+        system = ConstraintSystem(num_vars=2, var_names=["x[0,1]"])
+        assert system.var_name(0) == "x[0,1]"
+        assert system.var_name(1) == "x1"

@@ -1,0 +1,125 @@
+"""Tests for the 12-site corpus (paper Section 6.1 setup)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sitegen.corpus import (
+    SITE_BUILDERS,
+    TABLE4_ORDER,
+    build_corpus,
+    build_site,
+)
+from repro.template.finder import TemplateFinder
+
+#: Table 4's per-site record counts (rows of the paper's table).
+EXPECTED_COUNTS = {
+    "amazon": (10, 10),
+    "bnbooks": (10, 10),
+    "allegheny": (20, 20),
+    "butler": (15, 12),
+    "lee": (16, 5),
+    "michigan": (7, 16),
+    "minnesota": (11, 19),
+    "ohio": (10, 10),
+    "canada411": (25, 5),
+    "sprintcanada": (20, 20),
+    "yahoo": (10, 10),
+    "superpages": (3, 15),
+}
+
+#: Sites whose page template must fail (Table 4 note *a*): "Amazon,
+#: BnBooks, Minnesota Corrections, Yahoo People and Superpages".
+TEMPLATE_FAILURE_SITES = {"amazon", "bnbooks", "minnesota", "yahoo", "superpages"}
+
+
+class TestCorpusShape:
+    def test_twelve_sites_in_table4_order(self, corpus):
+        assert corpus.names == list(TABLE4_ORDER)
+        assert len(corpus.sites) == 12
+
+    def test_record_counts(self, corpus):
+        for site in corpus.sites:
+            assert site.spec.records_per_page == EXPECTED_COUNTS[site.spec.name]
+
+    def test_four_domains(self, corpus):
+        domains = {site.spec.domain for site in corpus.sites}
+        assert domains == {"books", "whitepages", "propertytax", "corrections"}
+
+    def test_totals(self, corpus):
+        assert corpus.total_list_pages == 24
+        assert corpus.total_records == sum(
+            a + b for a, b in EXPECTED_COUNTS.values()
+        )
+
+    def test_site_lookup(self, corpus):
+        assert corpus.site("ohio").spec.name == "ohio"
+        with pytest.raises(KeyError):
+            corpus.site("nonexistent")
+
+    def test_build_site_unknown(self):
+        with pytest.raises(KeyError):
+            build_site("nonexistent")
+
+    def test_builders_cover_order(self):
+        assert set(SITE_BUILDERS) == set(TABLE4_ORDER)
+
+
+class TestCorpusDeterminism:
+    def test_rebuild_is_identical(self, corpus):
+        rebuilt = build_corpus()
+        for first, second in zip(corpus.sites, rebuilt.sites):
+            assert first.list_pages[0].html == second.list_pages[0].html
+            assert first.list_pages[1].html == second.list_pages[1].html
+            for page_index in range(2):
+                for d1, d2 in zip(
+                    first.detail_pages(page_index),
+                    second.detail_pages(page_index),
+                ):
+                    assert d1.html == d2.html
+
+
+class TestTemplateFates:
+    """The corpus must reproduce the paper's per-site template outcomes."""
+
+    def test_template_failures_match_paper(self, corpus):
+        finder = TemplateFinder()
+        failed = {
+            site.spec.name
+            for site in corpus.sites
+            if not finder.find(site.list_pages).ok
+        }
+        assert failed == TEMPLATE_FAILURE_SITES
+
+    def test_clean_sites_single_table_slot(self, corpus):
+        finder = TemplateFinder()
+        for site in corpus.sites:
+            if site.spec.name in TEMPLATE_FAILURE_SITES:
+                continue
+            verdict = finder.find(site.list_pages)
+            assert verdict.ok, f"{site.spec.name}: {verdict.reason}"
+            assert verdict.table_slot_id is not None
+
+
+class TestGroundTruthIntegrity:
+    def test_every_row_has_detail_url_served(self, corpus):
+        for site in corpus.sites:
+            for page_index, truth in enumerate(site.truth):
+                details = {p.url for p in site.detail_pages(page_index)}
+                for row in truth.rows:
+                    assert row.detail_url in details
+
+    def test_first_field_always_present(self, corpus):
+        for site in corpus.sites:
+            first_field = site.spec.schema.fields[0].name
+            for truth in site.truth:
+                for row in truth.rows:
+                    assert first_field in row.values
+
+    def test_record_ids_unique(self, corpus):
+        seen = set()
+        for site in corpus.sites:
+            for truth in site.truth:
+                for row in truth.rows:
+                    assert row.record_id not in seen
+                    seen.add(row.record_id)

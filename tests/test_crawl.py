@@ -1,0 +1,114 @@
+"""Tests for the crawler, fetcher and page classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import CrawlError, FetchError
+from repro.crawl.classifier import ClassifierConfig, PageClassifier, page_similarity
+from repro.crawl.crawler import Crawler, crawl_generated_site, extract_links
+from repro.crawl.fetcher import SiteFetcher
+from repro.sitegen.corpus import build_site
+from repro.webdoc.page import Page
+
+
+class TestExtractLinks:
+    def test_document_order(self):
+        html = '<a href="b.html">x</a><p><a href="a.html">y</a></p>'
+        assert extract_links(html) == ["b.html", "a.html"]
+
+    def test_duplicates_first_occurrence(self):
+        html = '<a href="d.html">name</a> <a href="d.html">More Info</a>'
+        assert extract_links(html) == ["d.html"]
+
+    def test_fragments_and_empty_skipped(self):
+        html = '<a href="#top">up</a><a href="">x</a><a href="real.html">y</a>'
+        assert extract_links(html) == ["real.html"]
+
+    def test_no_links(self):
+        assert extract_links("<p>nothing here</p>") == []
+
+
+class TestFetcher:
+    def test_caching_counts_once(self):
+        site = build_site("ohio")
+        fetcher = SiteFetcher(site)
+        url = site.truth[0].rows[0].detail_url
+        fetcher.fetch(url)
+        fetcher.fetch(url)
+        assert fetcher.requests == 1
+
+    def test_dead_link_counted(self):
+        site = build_site("ohio")
+        fetcher = SiteFetcher(site)
+        with pytest.raises(FetchError):
+            fetcher.fetch("missing.html")
+        assert fetcher.failures == 1
+        assert fetcher.try_fetch("missing.html") is None
+
+
+class TestClassifier:
+    def test_same_template_pages_similar(self):
+        site = build_site("ohio")
+        details = site.detail_pages(0)
+        assert page_similarity(details[0], details[1]) > 0.5
+
+    def test_different_template_pages_dissimilar(self):
+        site = build_site("ohio")
+        detail = site.detail_pages(0)[0]
+        ad = site.fetch("ohio-ad0.html")
+        assert page_similarity(detail, ad) < 0.3
+
+    def test_identical_pages_similarity_one(self):
+        page = Page("x", "<p>same content</p>")
+        assert page_similarity(page, page) == 1.0
+
+    def test_clusters_split_details_from_ads(self):
+        site = build_site("ohio")
+        pages = site.detail_pages(0) + [site.fetch("ohio-ad0.html")]
+        clusters = PageClassifier().clusters(pages)
+        sizes = sorted(len(cluster) for cluster in clusters)
+        assert sizes == [1, 10]
+
+    def test_split_details_preserves_order(self):
+        site = build_site("ohio")
+        details = site.detail_pages(0)
+        mixed = [site.fetch("ohio-ad0.html")] + details
+        found, others = PageClassifier().split_details(mixed)
+        assert [p.url for p in found] == [p.url for p in details]
+        assert len(others) == 1
+
+    def test_empty_input(self):
+        details, others = PageClassifier().split_details([])
+        assert details == [] and others == []
+
+    def test_threshold_config(self):
+        # An absurd threshold keeps everything separate.
+        site = build_site("ohio")
+        pages = site.detail_pages(0)[:3]
+        clusters = PageClassifier(ClassifierConfig(similarity_threshold=1.01)).clusters(pages)
+        assert len(clusters) == 3
+
+
+class TestCrawler:
+    @pytest.mark.parametrize("name", ["ohio", "allegheny", "superpages", "amazon"])
+    def test_crawl_recovers_detail_pages_in_order(self, name):
+        site = build_site(name)
+        _, details_per_list, results = crawl_generated_site(site)
+        for page_index, crawled in enumerate(details_per_list):
+            expected = [p.url for p in site.detail_pages(page_index)]
+            assert [p.url for p in crawled] == expected
+            assert results[page_index].dead_links  # chrome links 404
+
+    def test_ads_classified_as_other(self):
+        site = build_site("ohio")
+        _, _, results = crawl_generated_site(site)
+        other_urls = {p.url for p in results[0].other_pages}
+        assert "ohio-ad0.html" in other_urls
+
+    def test_unfetchable_page_raises(self):
+        site = build_site("ohio")
+        crawler = Crawler(SiteFetcher(site))
+        lonely = Page("x", '<a href="gone.html">only dead link</a>')
+        with pytest.raises(CrawlError):
+            crawler.collect(lonely)

@@ -1,0 +1,134 @@
+"""Tests for entry-point navigation: index pages, Next chains,
+site discovery, and the continuous-numbering repair."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.exceptions import CrawlError
+from repro.core.pipeline import SegmentationPipeline
+from repro.crawl import (
+    SiteFetcher,
+    discover_site,
+    extract_links_with_text,
+    follow_next_chain,
+)
+from repro.sitegen.corpus import build_site
+from repro.sitegen.domains.books import build_amazon
+from repro.sitegen.site import GeneratedSite
+from repro.template.finder import TemplateFinder
+from repro.webdoc.page import Page
+
+
+class TestLinkText:
+    def test_pairs_in_order(self):
+        html = '<a href="a.html">First</a> x <a href="b.html">Second one</a>'
+        assert extract_links_with_text(html) == [
+            ("a.html", "First"),
+            ("b.html", "Second one"),
+        ]
+
+    def test_nested_markup_inside_anchor(self):
+        html = '<a href="a.html"><b>Bold</b> text</a>'
+        assert extract_links_with_text(html) == [("a.html", "Bold text")]
+
+    def test_duplicates_kept(self):
+        html = '<a href="a.html">x</a><a href="a.html">y</a>'
+        assert len(extract_links_with_text(html)) == 2
+
+
+class TestSiteChrome:
+    def test_index_page_exists_with_form(self):
+        site = build_site("butler")
+        index = site.fetch("butler-index.html")
+        assert "<form" in index.html
+        assert "sample search" in index.html
+
+    def test_next_previous_chain(self):
+        site = build_site("butler")
+        first, second = site.list_pages
+        assert 'Next' in first.html and 'Previous' not in first.html
+        assert 'Previous' in second.html and 'Next' not in second.html
+
+
+class TestFollowNextChain:
+    def test_walks_the_chain(self):
+        site = build_site("butler")
+        fetcher = SiteFetcher(site)
+        chain = follow_next_chain(fetcher, site.list_pages[0])
+        assert [page.url for page in chain] == [
+            "butler-list0.html",
+            "butler-list1.html",
+        ]
+
+    def test_stops_without_next(self):
+        site = build_site("butler")
+        fetcher = SiteFetcher(site)
+        chain = follow_next_chain(fetcher, site.list_pages[1])
+        assert len(chain) == 1
+
+    def test_max_pages_cap(self):
+        site = build_site("butler")
+        fetcher = SiteFetcher(site)
+        chain = follow_next_chain(fetcher, site.list_pages[0], max_pages=1)
+        assert len(chain) == 1
+
+
+class TestDiscoverSite:
+    @pytest.mark.parametrize("name", ["lee", "ohio", "superpages"])
+    def test_discovers_pipeline_inputs(self, name):
+        site = build_site(name)
+        fetcher = SiteFetcher(site)
+        found = discover_site(fetcher, f"{name}-index.html")
+        assert [page.url for page in found.list_pages] == [
+            page.url for page in site.list_pages
+        ]
+        for page_index, details in enumerate(found.detail_pages_per_list):
+            assert [page.url for page in details] == [
+                page.url for page in site.detail_pages(page_index)
+            ]
+
+    def test_discovered_inputs_segment_identically(self):
+        site = build_site("butler")
+        found = discover_site(SiteFetcher(site), "butler-index.html")
+        run = SegmentationPipeline("csp").segment_site(
+            found.list_pages, found.detail_pages_per_list
+        )
+        direct = SegmentationPipeline("csp").segment_generated_site(site)
+        for via_discovery, via_truth in zip(run.pages, direct.pages):
+            assert (
+                via_discovery.segmentation.record_count
+                == via_truth.segmentation.record_count
+            )
+
+    def test_dead_entry_raises(self):
+        site = build_site("butler")
+        fetcher = SiteFetcher(site)
+        lonely = Page(
+            "lonely-index.html",
+            '<a href="nowhere.html">only dead link</a>',
+        )
+        site._by_url["lonely-index.html"] = lonely
+        with pytest.raises(CrawlError):
+            discover_site(fetcher, "lonely-index.html")
+
+
+class TestContinuousNumbering:
+    """The paper's Next-link template repair (Section 6.2)."""
+
+    def test_restarting_numbers_break_the_template(self):
+        site = GeneratedSite(build_amazon())
+        assert not TemplateFinder().find(site.list_pages).ok
+
+    def test_continuous_numbers_repair_it(self):
+        spec = dataclasses.replace(build_amazon(), numbering_continuous=True)
+        site = GeneratedSite(spec)
+        verdict = TemplateFinder().find(site.list_pages)
+        assert verdict.ok
+        # Page 2 actually counts onward.
+        assert ">11.<" in site.list_pages[1].html
+
+    def test_default_is_paper_faithful(self):
+        assert build_amazon().numbering_continuous is False

@@ -1,0 +1,173 @@
+"""Tests for the CSP encoding of the segmentation problem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import EmptyProblemError
+from repro.csp.constraints import Relation
+from repro.csp.encoder import EncoderConfig, encode_segmentation
+from repro.extraction.observations import ObservationTable
+from tests.conftest import build_observation_table
+
+
+def constraints_labeled(problem, prefix):
+    return [
+        c for c in problem.system.constraints if c.label.startswith(prefix)
+    ]
+
+
+class TestVariables:
+    def test_variables_only_where_d_permits(self, paper_table):
+        problem = encode_segmentation(paper_table)
+        # Sum over observations of |D_i|.
+        expected = sum(len(o.detail_pages) for o in paper_table.observations)
+        assert problem.system.num_vars == expected
+        assert (0, 0) in problem.var_of and (0, 1) in problem.var_of
+        assert (0, 2) not in problem.var_of  # John Smith never on r3
+
+    def test_empty_table_raises(self):
+        table = ObservationTable(extracts=[], observations=[], detail_count=2)
+        with pytest.raises(EmptyProblemError):
+            encode_segmentation(table)
+
+
+class TestUniqueness:
+    def test_one_equality_per_observation(self, paper_table):
+        problem = encode_segmentation(paper_table)
+        uniq = constraints_labeled(problem, "uniq")
+        assert len(uniq) == len(paper_table.observations)
+        assert all(c.relation is Relation.EQ and c.bound == 1 for c in uniq)
+
+    def test_relaxed_form(self, paper_table):
+        problem = encode_segmentation(
+            paper_table, EncoderConfig(uniqueness_eq=False)
+        )
+        uniq = constraints_labeled(problem, "uniq")
+        assert all(c.relation is Relation.LE for c in uniq)
+
+    def test_paper_singletons(self, paper_table):
+        # x_21 = 1 etc.: observations with |D_i| = 1 yield unit
+        # equalities (the paper writes them as x_ij = 1 directly).
+        problem = encode_segmentation(paper_table)
+        uniq = constraints_labeled(problem, "uniq[1]")
+        assert len(uniq) == 1
+        assert len(uniq[0].terms) == 1
+
+
+class TestConsecutiveness:
+    def test_cross_run_pairs_forbidden(self):
+        # Record 0's candidates are seqs {0, 3}: two runs with a
+        # non-candidate between them -> mutual exclusion.
+        table = build_observation_table(
+            [
+                ("a", {0: (1,), 1: (9,)}),
+                ("b", {1: (2,)}),
+                ("c", {1: (3,)}),
+                ("d", {0: (4,), 1: (10,)}),
+            ],
+            detail_count=2,
+        )
+        problem = encode_segmentation(
+            table, EncoderConfig(position_constraints=False)
+        )
+        consec0 = constraints_labeled(problem, "consec[0]")
+        assert len(consec0) == 1
+        (pair,) = consec0
+        assert pair.relation is Relation.LE and pair.bound == 1
+        assert {problem.pair_of[v] for _, v in pair.terms} == {(0, 0), (3, 0)}
+
+    def test_in_run_triples(self):
+        # Candidates {0,1,2} contiguous: one triple constraint.
+        table = build_observation_table(
+            [
+                ("a", {0: (1,)}),
+                ("b", {0: (2,)}),
+                ("c", {0: (3,)}),
+            ],
+            detail_count=1,
+        )
+        problem = encode_segmentation(table)
+        triples = [
+            c
+            for c in constraints_labeled(problem, "consec[0]")
+            if len(c.terms) == 3
+        ]
+        assert len(triples) == 1
+        coefs = sorted(coef for coef, _ in triples[0].terms)
+        assert coefs == [-1, 1, 1]
+
+    def test_correct_solution_satisfies_consecutiveness(self, paper_table):
+        problem = encode_segmentation(paper_table)
+        from tests.conftest import PAPER_TABLE2
+
+        assignment = [0] * problem.system.num_vars
+        for record, seqs in PAPER_TABLE2.items():
+            for seq in seqs:
+                assignment[problem.var_of[(seq, record)]] = 1
+        assert problem.system.is_satisfied(assignment)
+
+
+class TestPositions:
+    def test_groups_of_two_or_more_only(self, paper_table):
+        problem = encode_segmentation(paper_table)
+        position_constraints = constraints_labeled(problem, "pos")
+        assert all(len(c.terms) >= 2 for c in position_constraints)
+        # The paper's example: x_11 + x_51 = 1 at (r1, 730).
+        labels = {c.label for c in position_constraints}
+        assert "pos[0,730]" in labels
+        assert "pos[1,578]" in labels
+
+    def test_positions_can_be_disabled(self, paper_table):
+        problem = encode_segmentation(
+            paper_table, EncoderConfig(position_constraints=False)
+        )
+        assert not constraints_labeled(problem, "pos")
+
+    def test_relaxed_positions(self, paper_table):
+        problem = encode_segmentation(
+            paper_table, EncoderConfig(positions_eq=False)
+        )
+        assert all(
+            c.relation is Relation.LE
+            for c in constraints_labeled(problem, "pos")
+        )
+
+
+class TestOrdering:
+    def test_off_by_default(self, paper_table):
+        problem = encode_segmentation(paper_table)
+        assert not constraints_labeled(problem, "order")
+
+    def test_ordering_forbids_inversions(self):
+        table = build_observation_table(
+            [("a", {1: (5,)}), ("b", {0: (6,)})],
+            detail_count=2,
+        )
+        problem = encode_segmentation(
+            table, EncoderConfig(ordering_constraints=True)
+        )
+        order = constraints_labeled(problem, "order")
+        assert len(order) == 1
+        # a->r1 together with b->r0 is the forbidden inversion.
+        assignment = [0] * problem.system.num_vars
+        assignment[problem.var_of[(0, 1)]] = 1
+        assignment[problem.var_of[(1, 0)]] = 1
+        assert not order[0].is_satisfied(assignment)
+
+
+class TestDecode:
+    def test_round_trip(self, paper_table):
+        problem = encode_segmentation(paper_table)
+        assignment = [0] * problem.system.num_vars
+        assignment[problem.var_of[(0, 0)]] = 1
+        decoded = problem.decode(assignment)
+        assert decoded[0] == 0
+        assert decoded[1] is None
+
+    def test_double_assignment_lowest_record_wins(self, paper_table):
+        problem = encode_segmentation(paper_table)
+        assignment = [0] * problem.system.num_vars
+        assignment[problem.var_of[(0, 0)]] = 1
+        assignment[problem.var_of[(0, 1)]] = 1
+        assert problem.decode(assignment)[0] == 0

@@ -1,0 +1,100 @@
+"""Unit + property tests for HTML entity decoding."""
+
+from __future__ import annotations
+
+import html as stdlib_html
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.webdoc.entities import NAMED_ENTITIES, decode_entities, encode_entities
+
+
+class TestNamedEntities:
+    def test_big_five(self):
+        assert decode_entities("&amp;&lt;&gt;&quot;&apos;") == "&<>\"'"
+
+    def test_in_context(self):
+        assert decode_entities("Barnes &amp; Noble") == "Barnes & Noble"
+
+    def test_nbsp_becomes_space(self):
+        assert decode_entities("a&nbsp;b") == "a b"
+
+    def test_currency_symbols(self):
+        assert decode_entities("&pound;5 &euro;3 &cent;9") == "£5 €3 ¢9"
+
+    def test_unknown_name_left_verbatim(self):
+        assert decode_entities("&bogusname;") == "&bogusname;"
+
+    def test_case_sensitive_names(self):
+        # &Dagger; and &dagger; are distinct.
+        assert decode_entities("&dagger;&Dagger;") == "†‡"
+
+    def test_semicolonless_legacy_names(self):
+        assert decode_entities("Barnes &amp Noble") == "Barnes & Noble"
+        assert decode_entities("&copy 2004") == "© 2004"
+
+    def test_semicolonless_nonlegacy_left_alone(self):
+        assert decode_entities("&euro 3") == "&euro 3"
+
+    #: Names the decoder deliberately normalizes to ASCII (the paper:
+    #: "HTML escape sequences are converted to ASCII text"), diverging
+    #: from the stdlib's Unicode-faithful decoding.
+    ASCII_NORMALIZED = {"nbsp", "ensp", "emsp", "thinsp", "shy"}
+
+    @pytest.mark.parametrize("name", sorted(NAMED_ENTITIES))
+    def test_agrees_with_stdlib(self, name):
+        ours = decode_entities(f"&{name};")
+        stdlib = stdlib_html.unescape(f"&{name};")
+        if name in self.ASCII_NORMALIZED:
+            assert ours in (" ", "")
+        else:
+            assert ours == stdlib
+
+
+class TestNumericEntities:
+    def test_decimal(self):
+        assert decode_entities("&#65;&#66;") == "AB"
+
+    def test_hex_lower_and_upper(self):
+        assert decode_entities("&#x41;&#X42;") == "AB"
+
+    def test_unicode_beyond_ascii(self):
+        assert decode_entities("&#233;") == "é"
+
+    def test_surrogate_left_verbatim(self):
+        assert decode_entities("&#xD800;") == "&#xD800;"
+
+    def test_out_of_range_left_verbatim(self):
+        assert decode_entities("&#1114112;") == "&#1114112;"
+
+    def test_missing_semicolon_not_numeric(self):
+        assert decode_entities("&#65") == "&#65"
+
+
+class TestEncode:
+    def test_escapes_specials(self):
+        assert encode_entities('a & b < c > d " e') == (
+            "a &amp; b &lt; c &gt; d &quot; e"
+        )
+
+    def test_plain_text_unchanged(self):
+        assert encode_entities("John Smith 740-335-5555") == (
+            "John Smith 740-335-5555"
+        )
+
+
+class TestProperties:
+    @given(st.text(alphabet=st.characters(blacklist_characters="&<>\""), max_size=80))
+    def test_decode_without_ampersand_is_identity(self, text):
+        assert decode_entities(text) == text
+
+    @given(st.text(max_size=80))
+    def test_encode_then_decode_round_trips(self, text):
+        assert decode_entities(encode_entities(text)) == text
+
+    @given(st.text(max_size=80))
+    def test_encoded_text_is_markup_safe(self, text):
+        encoded = encode_entities(text)
+        assert "<" not in encoded
+        assert ">" not in encoded

@@ -1,0 +1,89 @@
+"""Tests for exact solution counting and problem-level uniqueness."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.csp.constraints import ConstraintSystem, Relation
+from repro.csp.exact import ExactSolver
+from repro.csp.relaxation import RelaxationLevel, encode_at_level
+from tests.conftest import PAPER_TABLE1, build_observation_table
+from tests.test_solvers import random_systems
+
+
+def brute_force_count(system):
+    return sum(
+        1
+        for bits in itertools.product((0, 1), repeat=system.num_vars)
+        if system.is_satisfied(list(bits))
+    )
+
+
+class TestCountSolutions:
+    def test_unsat_counts_zero(self):
+        system = ConstraintSystem(num_vars=1)
+        system.add([(1, 0)], Relation.EQ, 1)
+        system.add([(1, 0)], Relation.EQ, 0)
+        assert ExactSolver(system).count_solutions() == 0
+
+    def test_exactly_one_over_pair(self):
+        system = ConstraintSystem(num_vars=2)
+        system.add([(1, 0), (1, 1)], Relation.EQ, 1)
+        assert ExactSolver(system).count_solutions() == 2
+
+    def test_free_variables_multiply(self):
+        system = ConstraintSystem(num_vars=3)
+        system.add([(1, 0)], Relation.EQ, 1)
+        assert ExactSolver(system).count_solutions() == 4  # 2 free vars
+
+    def test_limit_respected(self):
+        system = ConstraintSystem(num_vars=10)  # 1024 solutions
+        assert ExactSolver(system).count_solutions(limit=7) == 7
+
+    def test_solver_reusable_after_count(self):
+        system = ConstraintSystem(num_vars=2)
+        system.add([(1, 0), (1, 1)], Relation.EQ, 1)
+        solver = ExactSolver(system)
+        assert solver.count_solutions() == 2
+        result = solver.solve()
+        assert result.satisfiable
+        assert solver.count_solutions() == 2
+
+    @settings(deadline=None, max_examples=40)
+    @given(random_systems())
+    def test_count_matches_brute_force(self, system):
+        ours = ExactSolver(system).count_solutions(limit=1_000)
+        assert ours == brute_force_count(system)
+
+
+class TestPaperExampleUniqueness:
+    """The clean-data case: the constraints pin a single assignment."""
+
+    def test_strict_problem_has_unique_solution(self):
+        table = build_observation_table(PAPER_TABLE1, detail_count=3)
+        problem = encode_at_level(table, RelaxationLevel.STRICT)
+        count = ExactSolver(problem.system).count_solutions(limit=10)
+        assert count == 1
+
+    def test_without_positions_still_unique(self):
+        # Consecutiveness + uniqueness alone happen to suffice here;
+        # position constraints add redundancy (belt and braces).
+        from repro.csp.encoder import EncoderConfig, encode_segmentation
+
+        table = build_observation_table(PAPER_TABLE1, detail_count=3)
+        problem = encode_segmentation(
+            table, EncoderConfig(position_constraints=False)
+        )
+        count = ExactSolver(problem.system).count_solutions(limit=10)
+        assert count >= 1
+
+    def test_relaxed_problem_has_many_solutions(self):
+        table = build_observation_table(PAPER_TABLE1, detail_count=3)
+        problem = encode_at_level(
+            table, RelaxationLevel.RELAXED, soft_assign=False
+        )
+        count = ExactSolver(problem.system).count_solutions(limit=50)
+        assert count > 1  # the empty assignment, the true one, ...

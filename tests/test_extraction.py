@@ -1,0 +1,166 @@
+"""Tests for extract extraction, matching and observation building."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.extraction.extracts import extract_strings
+from repro.extraction.matching import MatchOptions, PageIndex, find_occurrences
+from repro.extraction.observations import ObservationTable
+from repro.tokens.tokenizer import tokenize_html
+from repro.webdoc.page import Page
+
+
+class TestExtractStrings:
+    def test_rows_split_at_tags(self):
+        extracts = extract_strings(
+            tokenize_html("<tr><td>John Smith</td><td>(740) 335-5555</td></tr>")
+        )
+        assert [e.text for e in extracts] == ["John Smith", "(740) 335-5555"]
+
+    def test_disallowed_punct_splits(self):
+        extracts = extract_strings(tokenize_html("John Smith | Findlay"))
+        assert [e.text for e in extracts] == ["John Smith", "Findlay"]
+
+    def test_allowed_punct_kept_inside(self):
+        extracts = extract_strings(tokenize_html("Findlay, OH 45840"))
+        assert [e.text for e in extracts] == ["Findlay, OH 45840"]
+
+    def test_pure_punct_runs_dropped(self):
+        extracts = extract_strings(tokenize_html("a<br>--<br>b"))
+        assert [e.text for e in extracts] == ["a", "b"]
+
+    def test_indices_sequential(self):
+        extracts = extract_strings(tokenize_html("a<br>b<br>c"))
+        assert [e.index for e in extracts] == [0, 1, 2]
+
+    def test_start_token_index_points_into_stream(self):
+        tokens = tokenize_html("<p>alpha</p><p>beta gamma</p>")
+        extracts = extract_strings(tokens)
+        beta = extracts[1]
+        assert tokens[beta.start_token_index].text == "beta"
+
+    def test_empty_input(self):
+        assert extract_strings([]) == []
+
+    def test_texts_key(self):
+        (extract,) = extract_strings(tokenize_html("John Smith"))
+        assert extract.texts == ("John", "Smith")
+        assert len(extract) == 2
+
+    @given(st.text(alphabet=st.sampled_from(list("ab <>|.,")), max_size=60))
+    def test_extracts_never_contain_separators(self, soup):
+        from repro.tokens.tokenizer import is_separator
+
+        for extract in extract_strings(tokenize_html(soup)):
+            assert not any(is_separator(token) for token in extract.tokens)
+
+
+class TestMatching:
+    def test_separator_tolerant_match(self):
+        # Paper footnote: "FirstName LastName" matches
+        # "FirstName <br>LastName" on the detail page.
+        detail = Page("d", "FirstName<br>LastName")
+        index = PageIndex(detail)
+        assert index.contains(("FirstName", "LastName"))
+
+    def test_match_position_is_full_stream_index(self):
+        detail = Page("d", "<p>x</p><p>John Smith</p>")
+        index = PageIndex(detail)
+        (position,) = index.occurrences(("John", "Smith"))
+        assert detail.tokens()[position].text == "John"
+
+    def test_multiple_occurrences(self):
+        detail = Page("d", "Smith one Smith two")
+        index = PageIndex(detail)
+        assert len(index.occurrences(("Smith",))) == 2
+
+    def test_case_sensitive_by_default(self):
+        detail = Page("d", "Robert Johnson")
+        index = PageIndex(detail)
+        assert not index.contains(("ROBERT", "JOHNSON"))
+
+    def test_casefold_option(self):
+        detail = Page("d", "Robert Johnson")
+        index = PageIndex(detail, MatchOptions(casefold=True))
+        assert index.contains(("ROBERT", "JOHNSON"))
+
+    def test_no_partial_token_match(self):
+        detail = Page("d", "Parolee status")
+        index = PageIndex(detail)
+        assert not index.contains(("Parole",))
+
+    def test_empty_query(self):
+        index = PageIndex(Page("d", "anything"))
+        assert index.occurrences(()) == []
+
+    def test_find_occurrences_across_pages(self):
+        pages = [Page("a", "x John y"), Page("b", "nothing"), Page("c", "John")]
+        found = find_occurrences(("John",), pages)
+        assert set(found) == {0, 2}
+
+
+class TestObservationTable:
+    def build(self, list_html, detail_htmls, other_list_htmls=()):
+        extracts = extract_strings(tokenize_html(list_html))
+        details = [Page(f"d{i}", html) for i, html in enumerate(detail_htmls)]
+        others = [Page(f"o{i}", html) for i, html in enumerate(other_list_htmls)]
+        return ObservationTable.build(extracts, details, other_list_pages=others)
+
+    def test_d_sets_recorded(self):
+        table = self.build(
+            "<p>Ann</p><p>Bob</p>",
+            ["Ann lives here", "Bob lives here"],
+        )
+        assert [sorted(o.detail_pages) for o in table.observations] == [[0], [1]]
+
+    def test_all_details_filter(self):
+        table = self.build(
+            "<p>More Info</p><p>Ann</p>",
+            ["More Info Ann", "More Info x"],
+        )
+        assert [o.extract.text for o in table.observations] == ["Ann"]
+        assert [e.text for e in table.ignored_all_details] == ["More Info"]
+
+    def test_all_lists_filter(self):
+        table = self.build(
+            "<p>Search Again</p><p>Ann</p>",
+            ["Ann here", "Search Again context"],
+            other_list_htmls=["<p>Search Again</p><p>Zed</p>"],
+        )
+        texts = [o.extract.text for o in table.observations]
+        assert "Search Again" not in texts
+        assert [e.text for e in table.ignored_all_lists] == ["Search Again"]
+
+    def test_unmatched_kept_separately(self):
+        table = self.build("<p>Ann</p><p>Ghost</p>", ["Ann here"])
+        assert [e.text for e in table.unmatched] == ["Ghost"]
+        assert table.used_count == 1
+
+    def test_seq_renumbered_after_filtering(self):
+        table = self.build(
+            "<p>More Info</p><p>Ann</p><p>Bob</p>",
+            ["More Info Ann", "More Info Bob"],
+        )
+        assert [o.seq for o in table.observations] == [0, 1]
+
+    def test_candidates_for_record(self, paper_table):
+        assert paper_table.candidates_for_record(0) == [0, 1, 2, 3, 4, 7]
+        assert paper_table.candidates_for_record(2) == [8, 9, 10]
+
+    def test_position_groups_paper_example(self, paper_table):
+        groups = {
+            (g.detail_page, g.position): g.members
+            for g in paper_table.position_groups(min_size=2)
+        }
+        # E_1/E_5 share position 730 on r1; E_4/E_8 share 846 on r1 and
+        # 578 on r2; E_1/E_5 also share 536 on r2.
+        assert groups[(0, 730)] == (0, 4)
+        assert groups[(0, 846)] == (3, 7)
+        assert groups[(1, 536)] == (0, 4)
+        assert groups[(1, 578)] == (3, 7)
+
+    def test_summary_mentions_counts(self, paper_table):
+        summary = paper_table.summary()
+        assert "11 extracts" in summary
+        assert "K=3" in summary

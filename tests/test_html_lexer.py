@@ -1,0 +1,164 @@
+"""Unit + property tests for the HTML lexer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import HtmlParseError
+from repro.webdoc.html import EventKind, lex_html, strip_tags
+
+
+def kinds(document):
+    return [event.kind for event in lex_html(document)]
+
+
+def texts(document):
+    return [e.data for e in lex_html(document) if e.kind is EventKind.TEXT]
+
+
+class TestBasicLexing:
+    def test_simple_element(self):
+        events = lex_html("<b>hi</b>")
+        assert [(e.kind, e.data) for e in events] == [
+            (EventKind.TAG_OPEN, "b"),
+            (EventKind.TEXT, "hi"),
+            (EventKind.TAG_CLOSE, "b"),
+        ]
+
+    def test_tag_names_lowercased(self):
+        events = lex_html("<TABLE><TR></TR></TABLE>")
+        assert [e.data for e in events] == ["table", "tr", "tr", "table"]
+
+    def test_self_closing(self):
+        (event,) = lex_html("<br/>")
+        assert event.kind is EventKind.TAG_OPEN
+        assert event.self_closing
+
+    def test_attributes_quoted(self):
+        (event,) = lex_html('<a href="x.html" class="big">')
+        assert event.attrs == {"href": "x.html", "class": "big"}
+
+    def test_attributes_single_quoted_and_unquoted(self):
+        (event,) = lex_html("<a href='x.html' target=_blank>")
+        assert event.attrs == {"href": "x.html", "target": "_blank"}
+
+    def test_valueless_attribute(self):
+        (event,) = lex_html("<input disabled>")
+        assert event.attrs == {"disabled": ""}
+
+    def test_duplicate_attribute_first_wins(self):
+        (event,) = lex_html('<a href="first.html" href="second.html">')
+        assert event.attrs["href"] == "first.html"
+
+    def test_gt_inside_quoted_attr(self):
+        (event, text) = lex_html('<a title="a > b">x')
+        assert event.attrs["title"] == "a > b"
+        assert text.data == "x"
+
+    def test_raw_tag_spelling(self):
+        open_event, close_event = lex_html("<td></td>")
+        assert open_event.raw_tag() == "<td>"
+        assert close_event.raw_tag() == "</td>"
+
+    def test_raw_tag_on_text_raises(self):
+        (event,) = lex_html("hello")
+        with pytest.raises(ValueError):
+            event.raw_tag()
+
+
+class TestCommentsAndDeclarations:
+    def test_comment(self):
+        events = lex_html("a<!-- secret -->b")
+        assert kinds("a<!-- secret -->b") == [
+            EventKind.TEXT,
+            EventKind.COMMENT,
+            EventKind.TEXT,
+        ]
+        assert events[1].data == "<!-- secret -->"
+
+    def test_doctype(self):
+        assert kinds("<!DOCTYPE html>x")[0] is EventKind.DECLARATION
+
+    def test_unterminated_comment_runs_to_eof(self):
+        events = lex_html("a<!-- never closed")
+        assert events[-1].kind is EventKind.COMMENT
+
+
+class TestRawTextElements:
+    def test_script_body_is_raw(self):
+        events = lex_html("<script>if (a<b) { x(); }</script>after")
+        assert [e.kind for e in events] == [
+            EventKind.TAG_OPEN,
+            EventKind.RAW,
+            EventKind.TAG_CLOSE,
+            EventKind.TEXT,
+        ]
+        assert events[1].data == "if (a<b) { x(); }"
+
+    def test_style_body_is_raw(self):
+        events = lex_html("<style>p > b { color: red }</style>")
+        assert events[1].kind is EventKind.RAW
+
+    def test_unclosed_script_runs_to_eof(self):
+        events = lex_html("<script>var x = 1;")
+        assert events[-1].kind is EventKind.RAW
+
+
+class TestMalformedInput:
+    def test_bare_lt_is_text(self):
+        assert texts("x < y") == ["x ", "<", " y"]
+
+    def test_unclosed_tag_at_eof(self):
+        events = lex_html("<a href=x")
+        assert events[0].kind is EventKind.TAG_OPEN
+        assert events[0].attrs == {"href": "x"}
+
+    def test_stray_close_junk(self):
+        events = lex_html("</ >x")
+        assert events[-1].kind is EventKind.TEXT
+
+    def test_non_string_raises(self):
+        with pytest.raises(HtmlParseError):
+            lex_html(None)  # type: ignore[arg-type]
+        with pytest.raises(HtmlParseError):
+            lex_html(b"<b>bytes</b>")  # type: ignore[arg-type]
+
+    def test_empty_document(self):
+        assert lex_html("") == []
+
+
+class TestOffsets:
+    def test_event_spans_cover_document(self):
+        document = '<html><body>Hello <a href="x">link</a>!</body></html>'
+        events = lex_html(document)
+        cursor = 0
+        for event in events:
+            assert event.start == cursor
+            assert event.end > event.start
+            cursor = event.end
+        assert cursor == len(document)
+
+    @given(
+        st.text(
+            alphabet=st.sampled_from(list("<>ab c/=\"'!-")),
+            max_size=60,
+        )
+    )
+    def test_spans_are_monotone_on_arbitrary_soup(self, soup):
+        events = lex_html(soup)
+        cursor = 0
+        for event in events:
+            assert event.start >= cursor
+            assert event.end > event.start
+            cursor = event.end
+        assert cursor <= len(soup)
+
+
+class TestStripTags:
+    def test_visible_text_only(self):
+        html = "<html><b>John</b>&amp;<i>Mary</i><script>x()</script></html>"
+        assert strip_tags(html) == "John & Mary"
+
+    def test_whitespace_collapsed(self):
+        assert strip_tags("<p>  a  \n  b  </p>") == "a b"

@@ -1,0 +1,72 @@
+"""Tests for the combined (hybrid) segmenter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import EmptyProblemError
+from repro.core.hybrid import HybridConfig, HybridSegmenter
+from repro.core.pipeline import SegmentationPipeline
+from repro.core.evaluation import score_page
+from repro.extraction.observations import ObservationTable
+from repro.sitegen.corpus import build_site
+from tests.conftest import PAPER_TABLE2, build_observation_table
+
+
+class TestHybridSegmenter:
+    def test_clean_data_uses_csp(self, paper_table):
+        segmentation = HybridSegmenter().segment(paper_table)
+        assert segmentation.meta["engine"] == "csp"
+        assert segmentation.method == "hybrid"
+        got = {
+            record.record_id: sorted(record.assigned_seqs)
+            for record in segmentation.records
+        }
+        assert got == PAPER_TABLE2
+
+    def test_inconsistent_data_falls_to_prob(self):
+        # The Michigan-style planted conflict: strict CSP unsat.
+        table = build_observation_table(
+            [
+                ("Parole", {0: (99,)}),
+                ("anchor-a", {0: (10,)}),
+                ("Parole", {0: (99,)}),
+                ("anchor-b", {1: (20,)}),
+                ("Parole", {0: (99,)}),
+            ],
+            detail_count=2,
+        )
+        segmentation = HybridSegmenter().segment(table)
+        assert segmentation.meta["engine"] == "prob"
+        # Probabilistic output is never partial.
+        assert not segmentation.is_partial
+        # The CSP attempts are carried along for diagnosis.
+        assert segmentation.meta["csp_attempts"]
+
+    def test_empty_table_raises(self):
+        table = ObservationTable(extracts=[], observations=[], detail_count=1)
+        with pytest.raises(EmptyProblemError):
+            HybridSegmenter().segment(table)
+
+
+class TestHybridPipeline:
+    def test_registered_method(self):
+        pipeline = SegmentationPipeline("hybrid")
+        assert pipeline.method == "hybrid"
+
+    def test_engine_choice_per_page(self):
+        site = build_site("michigan")
+        run = SegmentationPipeline("hybrid").segment_generated_site(site)
+        assert run.pages[0].segmentation.meta["engine"] == "csp"
+        assert run.pages[1].segmentation.meta["engine"] == "prob"
+
+    def test_hybrid_at_least_as_good_as_each_engine(self):
+        site = build_site("michigan")
+        scores = {}
+        for method in ("csp", "prob", "hybrid"):
+            run = SegmentationPipeline(method).segment_generated_site(site)
+            total = 0
+            for page_run, truth in zip(run.pages, site.truth):
+                total += score_page(page_run.segmentation, truth).cor
+            scores[method] = total
+        assert scores["hybrid"] >= max(scores["csp"], scores["prob"]) - 1

@@ -1,0 +1,102 @@
+"""End-to-end pipeline tests on individual sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.evaluation import score_page
+from repro.core.exceptions import ConfigError
+from repro.core.pipeline import SegmentationPipeline
+from repro.extraction.matching import MatchOptions
+from repro.sitegen.corpus import build_site
+from repro.webdoc.page import Page
+
+
+class TestConfig:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigError):
+            SegmentationPipeline("magic")
+
+    def test_mismatched_punct_sets_rejected(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(
+                match=MatchOptions(allowed_punct=frozenset(".")),
+            )
+
+    def test_page_count_mismatch_rejected(self):
+        site = build_site("ohio")
+        pipeline = SegmentationPipeline("csp")
+        with pytest.raises(ConfigError):
+            pipeline.segment_site(site.list_pages, [site.detail_pages(0)])
+
+
+@pytest.mark.parametrize("method", ["csp", "prob"])
+class TestEndToEnd:
+    def test_clean_site_perfect(self, method):
+        site = build_site("butler")
+        run = SegmentationPipeline(method).segment_generated_site(site)
+        assert run.template_verdict.ok
+        assert not run.whole_page_fallback
+        for page_run, truth in zip(run.pages, site.truth):
+            score = score_page(page_run.segmentation, truth)
+            assert score.cor == len(truth.rows)
+            assert score.inc == score.fn == score.fp == 0
+
+    def test_template_failure_site_still_segments(self, method):
+        site = build_site("superpages")
+        run = SegmentationPipeline(method).segment_generated_site(site)
+        assert run.whole_page_fallback
+        for page_run, truth in zip(run.pages, site.truth):
+            assert page_run.segmentation.meta["whole_page"]
+            score = score_page(page_run.segmentation, truth)
+            assert score.cor >= len(truth.rows) - 2
+
+    def test_timing_a_few_seconds_per_page(self, method):
+        # Section 6.1: "The CSP and probabilistic algorithms were
+        # exceedingly fast, taking only a few seconds to run".
+        site = build_site("michigan")
+        run = SegmentationPipeline(method).segment_generated_site(site)
+        assert all(page_run.elapsed < 20.0 for page_run in run.pages)
+
+    def test_meta_annotations(self, method):
+        site = build_site("butler")
+        run = SegmentationPipeline(method).segment_generated_site(site)
+        meta = run.pages[0].segmentation.meta
+        assert meta["template_ok"] is True
+        assert meta["whole_page"] is False
+
+
+class TestInconsistencyHandling:
+    def test_csp_relaxes_on_michigan_page_two(self):
+        site = build_site("michigan")
+        run = SegmentationPipeline("csp").segment_generated_site(site)
+        assert run.pages[1].segmentation.meta["relaxed"]
+        assert not run.pages[0].segmentation.meta["relaxed"]
+
+    def test_prob_tolerates_michigan_without_partiality(self):
+        site = build_site("michigan")
+        run = SegmentationPipeline("prob").segment_generated_site(site)
+        assert not run.pages[1].segmentation.is_partial
+
+    def test_prob_beats_csp_on_canada411_dirty_page(self):
+        site = build_site("canada411")
+        prob = SegmentationPipeline("prob").segment_generated_site(site)
+        csp = SegmentationPipeline("csp").segment_generated_site(site)
+        prob_score = score_page(prob.pages[1].segmentation, site.truth[1])
+        csp_score = score_page(csp.pages[1].segmentation, site.truth[1])
+        assert prob_score.cor >= csp_score.cor
+
+
+class TestDegeneratePages:
+    def test_empty_problem_returns_empty_segmentation(self):
+        # Detail pages that share nothing with the list page.
+        lists = [
+            Page("l0", "<html><body><h2>Hdr One</h2><p>alpha beta</p></body></html>"),
+            Page("l1", "<html><body><h2>Hdr One</h2><p>gamma delta</p></body></html>"),
+        ]
+        details = [[Page("d0", "<html>unrelated</html>")], [Page("d1", "<html>nothing</html>")]]
+        run = SegmentationPipeline("csp").segment_site(lists, details)
+        for page_run in run.pages:
+            assert page_run.segmentation.records == []
+            assert page_run.segmentation.meta.get("empty_problem")

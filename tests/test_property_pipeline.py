@@ -1,0 +1,123 @@
+"""Property-based tests: pipeline invariants on randomized sites.
+
+Hypothesis generates small site specifications (layout, schema width,
+record counts, seed) and the invariants below must hold for every one
+— the closest thing to fuzzing the whole system end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.evaluation import score_page
+from repro.core.pipeline import SegmentationPipeline
+from repro.sitegen import datagen
+from repro.sitegen.schema import FieldSpec, RecordSchema
+from repro.sitegen.site import GeneratedSite, RowLayout, SiteSpec
+
+FIELD_POOL = [
+    ("name", datagen.full_person_name, 0.0),
+    ("address", datagen.street_address, 0.2),
+    ("phone", datagen.phone_number, 0.0),
+    ("price", datagen.assessed_value, 0.1),
+    ("date", datagen.admission_date, 0.0),
+    ("parcel", datagen.parcel_id, 0.0),
+]
+
+
+@st.composite
+def site_specs(draw):
+    seed = draw(st.integers(0, 10_000))
+    layout = draw(st.sampled_from(list(RowLayout)))
+    field_count = draw(st.integers(2, 5))
+    counts = (
+        draw(st.integers(3, 12)),
+        draw(st.integers(3, 12)),
+    )
+    fields = [
+        FieldSpec(name, maker, missing_rate if index > 0 else 0.0)
+        for index, (name, maker, missing_rate) in enumerate(
+            FIELD_POOL[:field_count]
+        )
+    ]
+    return SiteSpec(
+        name="prop",
+        title="Property Test Site",
+        domain="fuzz",
+        schema=RecordSchema(fields=fields),
+        records_per_page=counts,
+        layout=layout,
+        seed=seed,
+    )
+
+
+COMMON_SETTINGS = settings(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPipelineInvariants:
+    @COMMON_SETTINGS
+    @given(site_specs())
+    def test_prob_assigns_every_observation(self, spec):
+        site = GeneratedSite(spec)
+        run = SegmentationPipeline("prob").segment_generated_site(site)
+        for page_run in run.pages:
+            segmentation = page_run.segmentation
+            assert not segmentation.unassigned
+            assigned = sum(
+                len(record.observations) for record in segmentation.records
+            )
+            assert assigned == len(page_run.table.observations)
+
+    @COMMON_SETTINGS
+    @given(site_specs())
+    def test_csp_respects_d_constraints(self, spec):
+        site = GeneratedSite(spec)
+        run = SegmentationPipeline("csp").segment_generated_site(site)
+        for page_run in run.pages:
+            for record in page_run.segmentation.records:
+                for observation in record.observations:
+                    assert record.record_id in observation.detail_pages
+
+    @COMMON_SETTINGS
+    @given(site_specs())
+    def test_csp_records_are_contiguous_blocks(self, spec):
+        site = GeneratedSite(spec)
+        run = SegmentationPipeline("csp").segment_generated_site(site)
+        for page_run in run.pages:
+            segmentation = page_run.segmentation
+            if segmentation.is_partial:
+                continue  # contiguity is over assigned extracts only
+            for record in segmentation.records:
+                seqs = sorted(record.assigned_seqs)
+                assert seqs == list(range(seqs[0], seqs[-1] + 1))
+
+    @COMMON_SETTINGS
+    @given(site_specs())
+    def test_scores_are_conserved(self, spec):
+        site = GeneratedSite(spec)
+        for method in ("csp", "prob"):
+            run = SegmentationPipeline(method).segment_generated_site(site)
+            for page_run, truth in zip(run.pages, site.truth):
+                score = score_page(page_run.segmentation, truth)
+                assert score.cor + score.inc + score.fn == len(truth.rows)
+                assert min(score.as_row()) >= 0
+
+    @COMMON_SETTINGS
+    @given(site_specs())
+    def test_clean_random_sites_segment_well(self, spec):
+        # Uncorrupted sites should be recovered almost entirely by the
+        # probabilistic method regardless of layout/schema/seed.
+        site = GeneratedSite(spec)
+        run = SegmentationPipeline("prob").segment_generated_site(site)
+        total_cor = 0
+        total_records = 0
+        for page_run, truth in zip(run.pages, site.truth):
+            score = score_page(page_run.segmentation, truth)
+            total_cor += score.cor
+            total_records += len(truth.rows)
+        assert total_cor >= int(0.7 * total_records)

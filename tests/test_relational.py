@@ -1,0 +1,200 @@
+"""Tests for relational reconstruction: tables, CSP columns, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import SegmentationPipeline
+from repro.prob.segmenter import ProbabilisticSegmenter
+from repro.relational.csp_columns import CspColumnAssigner
+from repro.relational.detail_fields import detail_field_pairs
+from repro.relational.evaluation import column_purity
+from repro.relational.table_builder import build_table
+from repro.sitegen.corpus import build_site
+
+
+@pytest.fixture(scope="module")
+def allegheny_run():
+    site = build_site("allegheny")
+    run = SegmentationPipeline("prob").segment_generated_site(site)
+    return site, run
+
+
+class TestBuildTable:
+    def test_paper_example_table(self, paper_table):
+        segmentation = ProbabilisticSegmenter().segment(paper_table)
+        table = build_table(segmentation)
+        assert table.shape[0] == 3
+        assert table.rows[0]["L0"] == "John Smith"
+        assert table.rows[2]["L0"] == "George W. Smith"
+
+    def test_missing_fields_leave_empty_cells(self, paper_table):
+        segmentation = ProbabilisticSegmenter().segment(paper_table)
+        table = build_table(segmentation)
+        # Record 2 has only 3 fields over a 4-column schema: some
+        # column is absent from its row.
+        row = table.rows[2]
+        filled = [name for name in table.columns if name in row]
+        assert len(filled) == 3
+
+    def test_render_contains_cells(self, paper_table):
+        segmentation = ProbabilisticSegmenter().segment(paper_table)
+        rendered = build_table(segmentation).render()
+        assert "John Smith" in rendered
+        assert "_record" in rendered
+
+    def test_column_override(self, paper_table):
+        segmentation = ProbabilisticSegmenter().segment(paper_table)
+        override = {
+            observation.seq: 0
+            for record in segmentation.records
+            for observation in record.observations
+        }
+        table = build_table(segmentation, columns=override)
+        assert table.columns == ["L0"]
+        # Collisions are joined visibly.
+        assert " / " in table.rows[0]["L0"]
+
+    def test_column_values(self, paper_table):
+        segmentation = ProbabilisticSegmenter().segment(paper_table)
+        table = build_table(segmentation)
+        names = table.column_values("L0")
+        assert len(names) == 3
+
+
+class TestDetailFields:
+    def test_labels_and_values_parsed(self, allegheny_run):
+        site, _ = allegheny_run
+        fields = detail_field_pairs(site.detail_pages(0))
+        truth = site.truth[0]
+        row = truth.rows[0]
+        attributes = fields[0]
+        assert attributes["Owner"] == row.values["owner"]
+        assert attributes["Parcel ID"] == row.values["parcel"]
+
+    def test_single_page_has_no_labels(self, allegheny_run):
+        site, _ = allegheny_run
+        fields = detail_field_pairs(site.detail_pages(0)[:1])
+        assert fields[0] == {}
+
+    def test_merge_into_relational_table(self, allegheny_run):
+        site, run = allegheny_run
+        table = build_table(run.pages[0].segmentation)
+        fields = detail_field_pairs(site.detail_pages(0))
+        table.merge_detail_fields(fields)
+        assert "Owner" in table.columns
+        assert table.rows[0]["Owner"] == site.truth[0].rows[0].values["owner"]
+
+    def test_merge_does_not_overwrite(self, allegheny_run):
+        site, run = allegheny_run
+        table = build_table(run.pages[0].segmentation)
+        original = dict(table.rows[0])
+        table.merge_detail_fields({0: {"L0": "OVERWRITTEN"}})
+        assert table.rows[0]["L0"] == original["L0"]
+
+
+class TestColumnPurity:
+    def test_prob_columns_pure_on_clean_site(self, allegheny_run):
+        site, run = allegheny_run
+        score = column_purity(run.pages[0].segmentation, site.truth[0])
+        assert score.purity >= 0.95
+        assert score.fields == 5
+
+    def test_positional_fallback(self, allegheny_run):
+        site, _ = allegheny_run
+        run = SegmentationPipeline("csp").segment_generated_site(site)
+        score = column_purity(run.pages[0].segmentation, site.truth[0])
+        # Positional columns drift on records with missing fields but
+        # stay mostly pure.
+        assert score.purity >= 0.8
+
+    def test_empty_segmentation(self, paper_table):
+        from repro.core.results import Segmentation
+        from repro.sitegen.site import ListPageTruth
+
+        empty = Segmentation(method="x", records=[], table=paper_table)
+        score = column_purity(empty, ListPageTruth(page_index=0, rows=()))
+        assert score.purity == 0.0 and score.cells == 0
+
+
+class TestCspColumnAssigner:
+    def test_assignment_total_and_increasing(self, allegheny_run):
+        site, _ = allegheny_run
+        run = SegmentationPipeline("csp").segment_generated_site(site)
+        segmentation = run.pages[0].segmentation
+        columns = CspColumnAssigner().assign(segmentation)
+        for record in segmentation.records:
+            labels = [columns[o.seq] for o in record.observations]
+            assert all(a < b for a, b in zip(labels, labels[1:]))
+            assert labels[0] == 0
+        assert len(columns) == sum(
+            len(r.observations) for r in segmentation.records
+        )
+
+    def test_purity_beats_positional_on_missing_fields(self, allegheny_run):
+        site, _ = allegheny_run
+        run = SegmentationPipeline("csp").segment_generated_site(site)
+        segmentation = run.pages[0].segmentation
+        csp_columns = CspColumnAssigner().assign(segmentation)
+        csp_score = column_purity(
+            segmentation, site.truth[0], columns=csp_columns
+        )
+        positional_score = column_purity(segmentation, site.truth[0])
+        assert csp_score.purity >= positional_score.purity
+
+    def test_empty_segmentation(self, paper_table):
+        from repro.core.results import Segmentation
+
+        empty = Segmentation(method="x", records=[], table=paper_table)
+        assert CspColumnAssigner().assign(empty) == {}
+
+
+class TestColumnNaming:
+    """Semantic names recovered from detail labels (Section 3.4)."""
+
+    def make_named_table(self, allegheny_run):
+        from repro.relational.naming import apply_column_names, name_columns
+
+        site, run = allegheny_run
+        table = build_table(run.pages[0].segmentation)
+        fields = detail_field_pairs(site.detail_pages(0))
+        names = name_columns(table, fields)
+        return site, table, fields, names
+
+    def test_anchor_columns_named_correctly(self, allegheny_run):
+        _, _, _, names = self.make_named_table(allegheny_run)
+        assert names.get("L0") == "Parcel ID"
+        assert names.get("L1") == "Owner"
+        assert names.get("L4") == "Assessed Value"
+
+    def test_no_label_assigned_twice(self, allegheny_run):
+        _, _, _, names = self.make_named_table(allegheny_run)
+        labels = list(names.values())
+        assert len(labels) == len(set(labels))
+
+    def test_apply_renames_in_place(self, allegheny_run):
+        from repro.relational.naming import apply_column_names
+
+        site, table, fields, names = self.make_named_table(allegheny_run)
+        apply_column_names(table, names)
+        assert "Parcel ID" in table.columns
+        assert table.rows[0]["Parcel ID"] == site.truth[0].rows[0].values["parcel"]
+
+    def test_naming_is_conservative_without_support(self, allegheny_run):
+        from repro.relational.naming import name_columns
+
+        _, run = allegheny_run
+        table = build_table(run.pages[0].segmentation)
+        # Garbage detail fields: nothing should be named.
+        garbage = {i: {"Junk": "zzz-never-matches"} for i in range(25)}
+        assert name_columns(table, garbage) == {}
+
+    def test_label_fraction_handles_missing_fields(self, allegheny_run):
+        site, _ = allegheny_run
+        fields = detail_field_pairs(site.detail_pages(0))
+        # "Municipality" is missing from ~10% of detail pages (the
+        # citystate missing_rate) but is still detected as a label.
+        labels = set()
+        for attributes in fields.values():
+            labels.update(attributes)
+        assert "Municipality" in labels

@@ -1,0 +1,95 @@
+"""Tests for aggregation, note derivation and table rendering."""
+
+from __future__ import annotations
+
+from repro.core.evaluation import PageScore
+from repro.csp.segmenter import CspSegmenter
+from repro.prob.segmenter import ProbabilisticSegmenter
+from repro.reporting.aggregate import (
+    ExperimentResult,
+    PageResult,
+    notes_from_meta,
+)
+from repro.reporting.tables import (
+    render_assignment_table,
+    render_observation_table,
+    render_position_table,
+    render_table4,
+)
+
+
+class TestNotes:
+    def test_clean_meta_no_notes(self):
+        meta = {"template_ok": True, "whole_page": False, "level": 0}
+        assert notes_from_meta(meta) == ""
+
+    def test_template_failure_gives_ab(self):
+        meta = {"template_ok": False, "whole_page": True}
+        assert notes_from_meta(meta) == "ab"
+
+    def test_relaxation_gives_cd(self):
+        meta = {"template_ok": True, "whole_page": False, "level": 2, "relaxed": True}
+        assert notes_from_meta(meta) == "cd"
+
+    def test_total_failure_gives_c(self):
+        meta = {"solution_found": False}
+        assert "c" in notes_from_meta(meta)
+
+
+class TestExperimentResult:
+    def make_result(self):
+        result = ExperimentResult()
+        result.add(PageResult("s1", 0, "csp", PageScore(cor=10), notes=""))
+        result.add(PageResult("s1", 1, "csp", PageScore(cor=5, inc=5), notes="cd"))
+        result.add(PageResult("s1", 0, "prob", PageScore(cor=9, inc=1), notes=""))
+        result.add(PageResult("s1", 1, "prob", PageScore(cor=8, inc=2), notes=""))
+        return result
+
+    def test_totals(self):
+        result = self.make_result()
+        total = result.totals("csp")
+        assert total.cor == 15 and total.inc == 5
+
+    def test_clean_pages_follow_csp(self):
+        result = self.make_result()
+        assert result.clean_pages() == {("s1", 0)}
+
+    def test_clean_totals_filter_both_methods(self):
+        result = self.make_result()
+        assert result.clean_totals("csp").cor == 10
+        assert result.clean_totals("prob").cor == 9
+
+    def test_methods_listing(self):
+        assert self.make_result().methods() == ["csp", "prob"]
+
+
+class TestRenderers:
+    def test_observation_table_lists_d_sets(self, paper_table):
+        rendered = render_observation_table(paper_table)
+        assert "John Smith" in rendered
+        assert "r0,r1" in rendered
+
+    def test_position_table_lists_cells(self, paper_table):
+        rendered = render_position_table(paper_table)
+        assert "pos_0^730" in rendered
+        assert "pos_1^578" in rendered
+
+    def test_assignment_table_marks_cells(self, paper_table):
+        segmentation = CspSegmenter().segment(paper_table)
+        rendered = render_assignment_table(segmentation)
+        assert "r0" in rendered and "r2" in rendered
+        assert rendered.count("1") >= 11
+
+    def test_assignment_table_shows_unassigned(self, paper_table):
+        segmentation = ProbabilisticSegmenter().segment(paper_table)
+        rendered = render_assignment_table(segmentation)
+        assert "unassigned" not in rendered
+
+    def test_table4_renders_all_rows(self):
+        result = ExperimentResult()
+        result.add(PageResult("ohio", 0, "prob", PageScore(cor=10), notes=""))
+        result.add(PageResult("ohio", 0, "csp", PageScore(cor=10), notes="d"))
+        rendered = render_table4(result)
+        assert "ohio p0" in rendered
+        assert "Precision" in rendered and "Recall" in rendered
+        assert "Relax constraints" in rendered

@@ -1,0 +1,133 @@
+"""Tests for the shared Segmentation result types."""
+
+from __future__ import annotations
+
+from repro.core.results import Segmentation
+from tests.conftest import PAPER_TABLE1, PAPER_TABLE2, build_observation_table
+
+
+def paper_assignment():
+    assignment = {}
+    for record, seqs in PAPER_TABLE2.items():
+        for seq in seqs:
+            assignment[seq] = record
+    return assignment
+
+
+class TestFromAssignment:
+    def test_records_grouped_and_ordered(self, paper_table):
+        segmentation = Segmentation.from_assignment(
+            "test", paper_table, paper_assignment()
+        )
+        assert [record.record_id for record in segmentation.records] == [0, 1, 2]
+        assert segmentation.record_count == 3
+        assert not segmentation.is_partial
+
+    def test_unassigned_tracked(self, paper_table):
+        assignment = paper_assignment()
+        assignment[5] = None
+        segmentation = Segmentation.from_assignment(
+            "test", paper_table, assignment
+        )
+        assert [o.seq for o in segmentation.unassigned] == [5]
+        assert segmentation.is_partial
+
+    def test_columns_carried(self, paper_table):
+        segmentation = Segmentation.from_assignment(
+            "test", paper_table, paper_assignment(), columns={0: 0, 1: 1}
+        )
+        record = segmentation.record_for(0)
+        assert record.columns == {0: 0, 1: 1}
+
+    def test_record_for_missing(self, paper_table):
+        segmentation = Segmentation.from_assignment(
+            "test", paper_table, paper_assignment()
+        )
+        assert segmentation.record_for(99) is None
+
+    def test_describe_mentions_method(self, paper_table):
+        segmentation = Segmentation.from_assignment(
+            "test", paper_table, paper_assignment()
+        )
+        assert "test" in segmentation.describe()
+        assert "John Smith" in segmentation.describe()
+
+
+class TestAttachRest:
+    def make_table_with_junk(self):
+        """Two anchored extracts with junk before, between and after.
+
+        Page-order extract layout:
+            0: "lead junk"  (unmatched)
+            1: "anchor-a"   (matches detail 0)
+            2: "mid junk"   (unmatched)
+            3: "anchor-b"   (matches detail 1)
+            4: "tail junk"  (unmatched)
+        """
+        from repro.extraction.extracts import Extract
+        from repro.extraction.observations import Observation, ObservationTable
+        from repro.tokens.tokenizer import tokenize_text
+
+        texts = ["lead junk", "anchor-a", "mid junk", "anchor-b", "tail junk"]
+        extracts = [
+            Extract(
+                index=position,
+                tokens=tuple(tokenize_text(text)),
+                start_token_index=position * 10,
+            )
+            for position, text in enumerate(texts)
+        ]
+        observations = [
+            Observation(
+                extract=extracts[1],
+                seq=0,
+                detail_pages=frozenset({0}),
+                positions={0: (1,)},
+            ),
+            Observation(
+                extract=extracts[3],
+                seq=1,
+                detail_pages=frozenset({1}),
+                positions={1: (2,)},
+            ),
+        ]
+        return ObservationTable(
+            extracts=extracts,
+            observations=observations,
+            detail_count=2,
+        )
+
+    def test_rest_attaches_to_last_assigned(self):
+        table = self.make_table_with_junk()
+        segmentation = Segmentation.from_assignment(
+            "test", table, {0: 0, 1: 1}
+        )
+        first = segmentation.record_for(0)
+        second = segmentation.record_for(1)
+        # Leading junk attaches to the first record; mid junk to the
+        # record of the preceding anchor; tail junk to the last.
+        assert "lead junk" in [e.text for e in first.attached]
+        assert "mid junk" in [e.text for e in first.attached]
+        assert "tail junk" in [e.text for e in second.attached]
+
+    def test_full_texts_in_page_order(self):
+        table = self.make_table_with_junk()
+        segmentation = Segmentation.from_assignment(
+            "test", table, {0: 0, 1: 1}
+        )
+        first = segmentation.record_for(0)
+        assert first.full_texts == ["lead junk", "anchor-a", "mid junk"]
+
+    def test_attach_rest_disabled(self):
+        table = self.make_table_with_junk()
+        segmentation = Segmentation.from_assignment(
+            "test", table, {0: 0, 1: 1}, attach_rest=False
+        )
+        assert all(not record.attached for record in segmentation.records)
+
+    def test_no_assignment_no_attachment(self):
+        table = self.make_table_with_junk()
+        segmentation = Segmentation.from_assignment(
+            "test", table, {0: None, 1: None}
+        )
+        assert segmentation.records == []

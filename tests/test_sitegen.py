@@ -1,0 +1,335 @@
+"""Tests for the site simulator: rng, datagen, schemas, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import FetchError, SiteGenError
+from repro.sitegen import datagen
+from repro.sitegen.corruptions import (
+    MissingDetailField,
+    PlantedMention,
+    Quirks,
+    ValueMismatch,
+)
+from repro.sitegen.domains.common import ensure_no_singletons
+from repro.sitegen.rng import SiteRng
+from repro.sitegen.schema import FieldSpec, RecordSchema
+from repro.sitegen.site import GeneratedSite, RowLayout, SiteSpec
+
+
+class TestSiteRng:
+    def test_deterministic(self):
+        a = SiteRng(42)
+        b = SiteRng(42)
+        assert [a.randint(0, 100) for _ in range(5)] == [
+            b.randint(0, 100) for _ in range(5)
+        ]
+
+    def test_fork_deterministic_and_independent(self):
+        first = SiteRng(42).fork("records")
+        second = SiteRng(42).fork("records")
+        other = SiteRng(42).fork("noise")
+        values = [first.randint(0, 10**9) for _ in range(3)]
+        assert values == [second.randint(0, 10**9) for _ in range(3)]
+        assert values != [other.randint(0, 10**9) for _ in range(3)]
+
+    def test_pick_and_sample(self):
+        rng = SiteRng(1)
+        items = ["a", "b", "c"]
+        assert rng.pick(items) in items
+        assert sorted(rng.sample(items, 2))[0] in items
+        assert len(rng.sample(items, 10)) == 3
+
+    def test_digits(self):
+        digits = SiteRng(1).digits(6)
+        assert len(digits) == 6 and digits.isdigit()
+
+
+class TestDatagen:
+    def setup_method(self):
+        self.rng = SiteRng(7)
+
+    def test_phone_is_single_token(self):
+        phone = datagen.phone_number(self.rng)
+        assert " " not in phone
+        assert phone.count("-") == 2
+
+    def test_city_state(self):
+        value = datagen.city_state(self.rng, "OH")
+        assert value.endswith(", OH")
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            datagen.city_of(self.rng, "XX")
+
+    def test_author_names_distinct(self):
+        names = datagen.author_names(self.rng, 4)
+        assert len(set(names)) == 4
+
+    def test_price_format(self):
+        price = datagen.price(self.rng)
+        assert price.startswith("$") and "." in price
+
+    def test_parcel_and_inmate_ids(self):
+        assert datagen.parcel_id(self.rng).count("-") == 2
+        assert datagen.inmate_id(self.rng, "K").startswith("K")
+
+    def test_dates_zero_padded(self):
+        date = datagen.admission_date(self.rng)
+        month, day, year = date.split("-")
+        assert len(month) == 2 and len(day) == 2 and len(year) == 4
+
+
+class TestSchema:
+    def test_first_field_cannot_be_missing(self):
+        with pytest.raises(SiteGenError):
+            RecordSchema(
+                fields=[FieldSpec("x", lambda rng: "v", missing_rate=0.5)]
+            )
+
+    def test_first_field_cannot_be_one_sided(self):
+        with pytest.raises(SiteGenError):
+            RecordSchema(
+                fields=[FieldSpec("x", lambda rng: "v", detail_only=True)]
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SiteGenError):
+            RecordSchema(
+                fields=[
+                    FieldSpec("x", lambda rng: "v"),
+                    FieldSpec("x", lambda rng: "w"),
+                ]
+            )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SiteGenError):
+            RecordSchema(fields=[])
+
+    def test_missing_fields_dropped(self):
+        schema = RecordSchema(
+            fields=[
+                FieldSpec("id", lambda rng: "X"),
+                FieldSpec("opt", lambda rng: "Y", missing_rate=1.0),
+            ]
+        )
+        record = schema.generate(SiteRng(1))
+        assert record == {"id": "X"}
+
+    def test_list_and_detail_field_views(self):
+        schema = RecordSchema(
+            fields=[
+                FieldSpec("id", lambda rng: "X"),
+                FieldSpec("hidden", lambda rng: "Y", detail_only=True),
+                FieldSpec("shallow", lambda rng: "Z", list_only=True),
+            ]
+        )
+        assert schema.list_fields == ["id", "shallow"]
+        assert schema.detail_fields == ["id", "hidden"]
+
+    def test_field_named(self):
+        schema = RecordSchema(fields=[FieldSpec("id", lambda rng: "X")])
+        assert schema.field_named("id").name == "id"
+        with pytest.raises(KeyError):
+            schema.field_named("nope")
+
+
+class TestEnsureNoSingletons:
+    def test_singletons_removed(self):
+        rng = SiteRng(3)
+        records = [{"f": "a"}, {"f": "a"}, {"f": "b"}, {"f": "c"}]
+        ensure_no_singletons(rng, records, "f")
+        from collections import Counter
+
+        counts = Counter(r["f"] for r in records)
+        assert all(count >= 2 for count in counts.values())
+
+    def test_all_distinct_becomes_paired(self):
+        rng = SiteRng(3)
+        records = [{"f": "a"}, {"f": "b"}, {"f": "c"}, {"f": "d"}]
+        ensure_no_singletons(rng, records, "f")
+        from collections import Counter
+
+        counts = Counter(r["f"] for r in records)
+        assert all(count >= 2 for count in counts.values())
+
+    def test_missing_field_ignored(self):
+        rng = SiteRng(3)
+        records = [{"f": "a"}, {}, {"f": "a"}]
+        ensure_no_singletons(rng, records, "f")
+        assert records[1] == {}
+
+
+def simple_spec(**overrides):
+    schema = RecordSchema(
+        fields=[
+            FieldSpec("name", datagen.full_person_name),
+            FieldSpec("phone", datagen.phone_number),
+        ]
+    )
+    defaults = dict(
+        name="testsite",
+        title="Test Site",
+        domain="whitepages",
+        schema=schema,
+        records_per_page=(4, 5),
+        layout=RowLayout.GRID,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return SiteSpec(**defaults)
+
+
+class TestGeneratedSite:
+    def test_page_counts(self):
+        site = GeneratedSite(simple_spec())
+        assert len(site.list_pages) == 2
+        assert len(site.detail_pages(0)) == 4
+        assert len(site.detail_pages(1)) == 5
+
+    def test_needs_two_pages(self):
+        with pytest.raises(SiteGenError):
+            GeneratedSite(simple_spec(records_per_page=(4,)))
+
+    def test_deterministic_rendering(self):
+        first = GeneratedSite(simple_spec())
+        second = GeneratedSite(simple_spec())
+        assert first.list_pages[0].html == second.list_pages[0].html
+        assert first.detail_pages(1)[2].html == second.detail_pages(1)[2].html
+
+    def test_truth_spans_contain_row_values(self):
+        site = GeneratedSite(simple_spec())
+        page = site.list_pages[0]
+        for row in site.truth[0].rows:
+            start, end = row.span
+            fragment = page.html[start:end]
+            for value in row.values.values():
+                assert value.split()[0] in fragment
+
+    def test_truth_spans_disjoint_and_ordered(self):
+        site = GeneratedSite(simple_spec())
+        spans = [row.span for row in site.truth[0].rows]
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_detail_pages_contain_record_values(self):
+        site = GeneratedSite(simple_spec())
+        for row, detail in zip(site.truth[0].rows, site.detail_pages(0)):
+            for value in row.values.values():
+                assert value.split()[0] in detail.html
+
+    def test_fetch_roundtrip_and_unknown(self):
+        site = GeneratedSite(simple_spec())
+        url = site.truth[0].rows[0].detail_url
+        assert site.fetch(url).kind == "detail"
+        with pytest.raises(FetchError):
+            site.fetch("missing.html")
+
+    def test_every_layout_renders(self):
+        for layout in RowLayout:
+            site = GeneratedSite(simple_spec(layout=layout))
+            assert site.truth[0].rows
+            # Spans still valid under each layout.
+            row = site.truth[0].rows[-1]
+            start, end = row.span
+            assert end > start
+
+    def test_row_of_offset(self):
+        site = GeneratedSite(simple_spec())
+        truth = site.truth[0]
+        row = truth.rows[1]
+        middle = (row.span[0] + row.span[1]) // 2
+        assert truth.row_of_offset(middle) is row
+        assert truth.row_of_offset(10**9) is None
+
+
+class TestQuirkRendering:
+    def test_case_mismatch(self):
+        quirks = Quirks(case_mismatch_fields=("name",))
+        site = GeneratedSite(simple_spec(quirks=quirks))
+        row = site.truth[0].rows[0]
+        assert row.values["name"].isupper()
+        # Detail page keeps the original casing.
+        detail = site.detail_pages(0)[0]
+        assert row.values["name"] not in detail.html
+
+    def test_case_mismatch_stride(self):
+        quirks = Quirks(case_mismatch_fields=("name",), case_mismatch_stride=2)
+        site = GeneratedSite(simple_spec(quirks=quirks))
+        rows = site.truth[0].rows
+        assert rows[0].values["name"].isupper()
+        assert not rows[1].values["name"].isupper()
+
+    def test_et_al(self):
+        quirks = Quirks(et_al_field="name")
+        assert (
+            quirks.list_view("name", "Ann Ray, Bob Oak, Cal Elm")
+            == "Ann Ray, et al."
+        )
+        assert quirks.list_view("name", "Ann Ray") == "Ann Ray"
+
+    def test_value_mismatch_and_plant(self):
+        quirks = Quirks(
+            value_mismatch=ValueMismatch(
+                field="name", list_value="Target", detail_value="Changed",
+                plant_record=1,
+            )
+        )
+        assert quirks.detail_view("name", "Target") == "Changed"
+        assert quirks.detail_view("name", "Other") == "Other"
+        site = GeneratedSite(simple_spec(quirks=quirks))
+        assert "Target board hearing" in site.detail_pages(0)[1].html
+
+    def test_missing_detail_field(self):
+        quirks = Quirks(
+            missing_detail_field=MissingDetailField(field="phone", page=0, record=2)
+        )
+        site = GeneratedSite(simple_spec(quirks=quirks))
+        row = site.truth[0].rows[2]
+        assert row.values["phone"] not in site.detail_pages(0)[2].html
+        # Other records keep theirs.
+        other = site.truth[0].rows[0]
+        assert other.values["phone"] in site.detail_pages(0)[0].html
+
+    def test_history_contamination(self):
+        quirks = Quirks(history_contamination=2)
+        site = GeneratedSite(simple_spec(quirks=quirks))
+        rows = site.truth[0].rows
+        third_detail = site.detail_pages(0)[2].html
+        assert "Recently Viewed" in third_detail
+        # Previous records' names appear (detail spelling == original).
+        for earlier in rows[0:2]:
+            assert earlier.values["name"] in third_detail
+
+    def test_similar_names_stride(self):
+        quirks = Quirks(similar_names=1, similar_names_stride=2)
+        site = GeneratedSite(simple_spec(quirks=quirks))
+        details = site.detail_pages(0)
+        assert "Similar Records" in details[0].html
+        assert "Similar Records" not in details[1].html
+
+    def test_planted_mentions(self):
+        quirks = Quirks(
+            planted_mentions=(
+                PlantedMention(
+                    page=0, field="name", source_record=3, target_records=(0,)
+                ),
+            )
+        )
+        site = GeneratedSite(simple_spec(quirks=quirks))
+        source_name = site.truth[0].rows[3].values["name"]
+        assert source_name in site.detail_pages(0)[0].html
+
+    def test_duplicate_boilerplate_repeats_chrome(self):
+        site = GeneratedSite(simple_spec(quirks=Quirks(duplicate_boilerplate=True)))
+        html = site.list_pages[0].html
+        assert html.count("Matching Listings") == 2
+        assert html.count("Copyright 2004.") >= 2
+
+    def test_ad_contamination_quotes_mid_list_records(self):
+        quirks = Quirks(ad_contamination=(0,))
+        site = GeneratedSite(simple_spec(quirks=quirks))
+        html = site.list_pages[0].html
+        quoted = site.truth[0].rows[2].values["name"]  # n//2 of 4
+        assert html.count(quoted) >= 2  # once in the ad, once in the row

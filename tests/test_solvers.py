@@ -1,0 +1,199 @@
+"""Tests for the WSAT(OIP)-style and exact solvers, including
+cross-checking property tests on random planted instances."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import SolverBudgetExceededError
+from repro.csp.constraints import ConstraintSystem, Relation
+from repro.csp.exact import ExactConfig, ExactSolver
+from repro.csp.wsat import WsatConfig, WsatSolver
+
+
+def exactly_one_system(groups, num_vars):
+    system = ConstraintSystem(num_vars=num_vars)
+    for group in groups:
+        system.add([(1, v) for v in group], Relation.EQ, 1)
+    return system
+
+
+def brute_force_satisfiable(system):
+    for bits in itertools.product((0, 1), repeat=system.num_vars):
+        if system.is_satisfied(list(bits)):
+            return True
+    return False
+
+
+@st.composite
+def random_systems(draw):
+    """Small random pseudo-boolean systems (sat and unsat mixed)."""
+    num_vars = draw(st.integers(2, 6))
+    count = draw(st.integers(1, 6))
+    system = ConstraintSystem(num_vars=num_vars)
+    for _ in range(count):
+        size = draw(st.integers(1, min(3, num_vars)))
+        variables = draw(
+            st.lists(
+                st.integers(0, num_vars - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        coefs = draw(
+            st.lists(st.sampled_from([1, 1, 1, -1]), min_size=size, max_size=size)
+        )
+        relation = draw(st.sampled_from(list(Relation)))
+        bound = draw(st.integers(-1, 2))
+        system.add(list(zip(coefs, variables)), relation, bound)
+    return system
+
+
+class TestWsat:
+    def test_solves_exactly_one(self):
+        system = exactly_one_system([[0, 1, 2], [2, 3], [3, 4]], 5)
+        result = WsatSolver(system).solve()
+        assert result.satisfied
+        assert system.is_satisfied(result.assignment)
+
+    def test_reports_unsat_as_nonzero_violation(self):
+        system = ConstraintSystem(num_vars=1)
+        system.add([(1, 0)], Relation.EQ, 1)
+        system.add([(1, 0)], Relation.EQ, 0)
+        result = WsatSolver(system, WsatConfig(max_flips=500, max_restarts=2)).solve()
+        assert not result.satisfied
+        assert result.best_violation >= 1
+
+    def test_deterministic_given_seed(self):
+        system = exactly_one_system([[0, 1], [1, 2], [2, 3]], 4)
+        first = WsatSolver(system, WsatConfig(seed=7)).solve()
+        second = WsatSolver(system, WsatConfig(seed=7)).solve()
+        assert first.assignment == second.assignment
+
+    def test_initial_assignment_used(self):
+        system = exactly_one_system([[0, 1]], 2)
+        result = WsatSolver(system).solve(initial=[1, 0])
+        assert result.satisfied
+        assert result.flips == 0
+
+    def test_soft_constraints_optimized(self):
+        # Hard: at most one of {0,1}. Soft: both should be 1.
+        # Optimum: exactly one set (soft violation 1, not 2).
+        system = ConstraintSystem(num_vars=2)
+        system.add([(1, 0), (1, 1)], Relation.LE, 1)
+        system.add([(1, 0)], Relation.GE, 1, hard=False)
+        system.add([(1, 1)], Relation.GE, 1, hard=False)
+        result = WsatSolver(system).solve()
+        assert result.satisfied
+        assert sum(result.assignment) == 1
+        assert result.best_soft_violation == 1
+
+    def test_hard_beats_soft_lexicographically(self):
+        # Satisfying the soft constraint would violate the hard one.
+        system = ConstraintSystem(num_vars=1)
+        system.add([(1, 0)], Relation.EQ, 0, hard=True)
+        system.add([(1, 0)], Relation.GE, 1, hard=False, weight=100.0)
+        result = WsatSolver(system).solve()
+        assert result.satisfied
+        assert result.assignment == [0]
+
+    @settings(deadline=None, max_examples=40)
+    @given(random_systems())
+    def test_wsat_never_claims_false_sat(self, system):
+        result = WsatSolver(
+            system, WsatConfig(max_flips=2000, max_restarts=2)
+        ).solve()
+        if result.satisfied:
+            assert system.is_satisfied(result.assignment)
+
+
+class TestExact:
+    def test_sat_instance(self):
+        system = exactly_one_system([[0, 1, 2], [2, 3]], 4)
+        result = ExactSolver(system).solve()
+        assert result.satisfiable
+        assert system.is_satisfied(result.assignment)
+
+    def test_unsat_instance(self):
+        system = ConstraintSystem(num_vars=2)
+        system.add([(1, 0), (1, 1)], Relation.LE, 1)
+        system.add([(1, 0)], Relation.GE, 1)
+        system.add([(1, 1)], Relation.GE, 1)
+        result = ExactSolver(system).solve()
+        assert not result.satisfiable
+        assert result.assignment is None
+
+    def test_root_propagation_conflict(self):
+        system = ConstraintSystem(num_vars=1)
+        system.add([(1, 0)], Relation.EQ, 1)
+        system.add([(1, 0)], Relation.EQ, 0)
+        result = ExactSolver(system).solve()
+        assert not result.satisfiable
+
+    def test_soft_constraints_ignored(self):
+        system = ConstraintSystem(num_vars=1)
+        system.add([(1, 0)], Relation.EQ, 0, hard=True)
+        system.add([(1, 0)], Relation.EQ, 1, hard=False)
+        result = ExactSolver(system).solve()
+        assert result.satisfiable
+        assert result.assignment == [0]
+
+    def test_budget_exceeded_raises(self):
+        # A dense unconstrained-but-large search with a tiny budget.
+        system = ConstraintSystem(num_vars=30)
+        for v in range(0, 28, 2):
+            system.add([(1, v), (1, v + 1), (-1, (v + 2) % 30)], Relation.LE, 1)
+        with pytest.raises(SolverBudgetExceededError):
+            ExactSolver(system, ExactConfig(node_budget=3)).solve()
+
+    def test_free_variables_get_values(self):
+        system = ConstraintSystem(num_vars=3)
+        system.add([(1, 0)], Relation.EQ, 1)
+        result = ExactSolver(system).solve()
+        assert result.satisfiable
+        assert all(value in (0, 1) for value in result.assignment)
+
+    @settings(deadline=None, max_examples=60)
+    @given(random_systems())
+    def test_exact_agrees_with_brute_force(self, system):
+        result = ExactSolver(system, ExactConfig(node_budget=50_000)).solve()
+        assert result.satisfiable == brute_force_satisfiable(system)
+        if result.satisfiable:
+            assert system.is_satisfied(result.assignment)
+
+
+class TestCrossCheck:
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(0, 10_000))
+    def test_planted_exactly_one_instances(self, seed):
+        """Both solvers solve partitioned exactly-one instances."""
+        rng = random.Random(seed)
+        num_vars = rng.randint(4, 14)
+        variables = list(range(num_vars))
+        rng.shuffle(variables)
+        groups = []
+        while variables:
+            size = min(len(variables), rng.randint(1, 4))
+            groups.append([variables.pop() for _ in range(size)])
+        system = exactly_one_system(groups, num_vars)
+
+        wsat = WsatSolver(system, WsatConfig(seed=seed)).solve()
+        exact = ExactSolver(system).solve()
+        assert exact.satisfiable
+        assert wsat.satisfied
+        assert system.is_satisfied(wsat.assignment)
+
+    @settings(deadline=None, max_examples=30)
+    @given(random_systems())
+    def test_wsat_sat_implies_exact_sat(self, system):
+        wsat = WsatSolver(
+            system, WsatConfig(max_flips=3000, max_restarts=2)
+        ).solve()
+        if wsat.satisfied:
+            exact = ExactSolver(system, ExactConfig(node_budget=50_000)).solve()
+            assert exact.satisfiable

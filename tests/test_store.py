@@ -1,0 +1,103 @@
+"""Tests for the on-disk page sample format and its CLI commands."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.evaluation import score_page
+from repro.core.pipeline import SegmentationPipeline
+from repro.sitegen.corpus import build_site
+from repro.webdoc.store import SampleError, load_sample, save_sample
+
+
+@pytest.fixture
+def exported(tmp_path):
+    site = build_site("lee")
+    save_sample(
+        tmp_path,
+        "lee",
+        site.list_pages,
+        [site.detail_pages(0), site.detail_pages(1)],
+    )
+    return site, tmp_path
+
+
+class TestRoundTrip:
+    def test_manifest_written(self, exported):
+        _, directory = exported
+        manifest = json.loads((directory / "sample.json").read_text())
+        assert manifest["name"] == "lee"
+        assert len(manifest["pages"]) == 2
+        assert len(manifest["pages"][0]["details"]) == 16
+
+    def test_pages_round_trip_byte_identical(self, exported):
+        site, directory = exported
+        sample = load_sample(directory)
+        assert sample.name == "lee"
+        assert sample.list_pages[0].html == site.list_pages[0].html
+        assert (
+            sample.detail_pages_per_list[1][2].html
+            == site.detail_pages(1)[2].html
+        )
+
+    def test_pipeline_on_loaded_sample_matches_direct_run(self, exported):
+        site, directory = exported
+        sample = load_sample(directory)
+        loaded_run = SegmentationPipeline("csp").segment_site(
+            sample.list_pages, sample.detail_pages_per_list
+        )
+        for page_run, truth in zip(loaded_run.pages, site.truth):
+            score = score_page(page_run.segmentation, truth)
+            assert score.cor == len(truth.rows)
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SampleError):
+            load_sample(tmp_path)
+
+    def test_malformed_manifest(self, tmp_path):
+        (tmp_path / "sample.json").write_text("{not json")
+        with pytest.raises(SampleError):
+            load_sample(tmp_path)
+
+    def test_empty_pages(self, tmp_path):
+        (tmp_path / "sample.json").write_text(json.dumps({"pages": []}))
+        with pytest.raises(SampleError):
+            load_sample(tmp_path)
+
+    def test_missing_referenced_file(self, tmp_path):
+        (tmp_path / "sample.json").write_text(
+            json.dumps(
+                {"name": "x", "pages": [{"list": "gone.html", "details": []}]}
+            )
+        )
+        with pytest.raises(SampleError):
+            load_sample(tmp_path)
+
+    def test_entry_missing_keys(self, tmp_path):
+        (tmp_path / "sample.json").write_text(
+            json.dumps({"name": "x", "pages": [{"list": "a.html"}]})
+        )
+        (tmp_path / "a.html").write_text("<html></html>")
+        with pytest.raises(SampleError):
+            load_sample(tmp_path)
+
+
+class TestCliIntegration:
+    def test_export_then_segment_dir(self, tmp_path):
+        out = io.StringIO()
+        code = main(["export", "butler", str(tmp_path)], out=out)
+        assert code == 0
+        assert "sample.json" in out.getvalue()
+
+        out = io.StringIO()
+        code = main(
+            ["segment-dir", str(tmp_path), "--method", "csp"], out=out
+        )
+        assert code == 0
+        assert "15 records" in out.getvalue()

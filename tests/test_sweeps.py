@@ -1,0 +1,58 @@
+"""Tests for the parameterized sweep sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluation import PageScore, score_page
+from repro.core.pipeline import SegmentationPipeline
+from repro.sitegen.sweeps import noisy_site, sized_site
+
+
+def f_measure(site, method):
+    run = SegmentationPipeline(method).segment_generated_site(site)
+    total = PageScore()
+    for page_run, truth in zip(run.pages, site.truth):
+        total = total + score_page(page_run.segmentation, truth)
+    return total.f_measure
+
+
+class TestNoisySite:
+    def test_zero_plants_is_clean(self):
+        site = noisy_site(0)
+        assert f_measure(site, "csp") == 1.0
+
+    def test_plants_rendered_on_far_pages(self):
+        site = noisy_site(2)
+        quirks = site.spec.quirks
+        assert len(quirks.planted_mentions) == 4  # 2 per page
+        for mention in quirks.planted_mentions:
+            assert mention.source_record not in mention.target_records
+
+    def test_sources_are_recased_rows(self):
+        site = noisy_site(2)
+        for mention in site.spec.quirks.planted_mentions:
+            assert mention.source_record % 2 == 0  # stride-2 allcaps rows
+
+    def test_plants_degrade_csp(self):
+        clean = f_measure(noisy_site(0), "csp")
+        dirty = f_measure(noisy_site(3), "csp")
+        assert dirty < clean
+
+    def test_deterministic(self):
+        assert (
+            noisy_site(2).list_pages[0].html
+            == noisy_site(2).list_pages[0].html
+        )
+
+
+class TestSizedSite:
+    @pytest.mark.parametrize("records", [5, 25])
+    def test_record_counts(self, records):
+        site = sized_site(records)
+        assert site.spec.records_per_page == (records, records)
+        assert len(site.truth[0].rows) == records
+
+    def test_large_site_still_clean(self):
+        site = sized_site(40)
+        assert f_measure(site, "csp") == 1.0

@@ -1,0 +1,134 @@
+"""Unit + property tests for the page tokenizer."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.tokens.tokenizer import (
+    DEFAULT_ALLOWED_PUNCT,
+    is_separator,
+    tokenize_html,
+    tokenize_text,
+)
+from repro.webdoc.page import Page
+
+
+def token_texts(html):
+    return [token.text for token in tokenize_html(html)]
+
+
+class TestHtmlTokenization:
+    def test_tags_become_canonical_tokens(self):
+        assert token_texts('<a href="x.html">hi</a>') == ["<a>", "hi", "</a>"]
+
+    def test_entities_decoded_before_splitting(self):
+        assert token_texts("Barnes &amp; Noble") == ["Barnes", "&", "Noble"]
+
+    def test_paper_example_tokens(self):
+        assert token_texts("<b>John Smith</b> (740) 335-5555") == [
+            "<b>", "John", "Smith", "</b>", "(740)", "335-5555",
+        ]
+
+    def test_comments_and_script_bodies_invisible(self):
+        # The script *tags* are markup tokens; the body is not.
+        html = "a<!-- x --><script>var y;</script>b"
+        assert token_texts(html) == ["a", "<script>", "</script>", "b"]
+
+    def test_indices_sequential(self):
+        tokens = tokenize_html("<p>one two</p><p>three</p>")
+        assert [token.index for token in tokens] == list(range(len(tokens)))
+
+    def test_char_offsets_point_at_source(self):
+        html = "<td>John Smith</td>"
+        tokens = tokenize_html(html)
+        john = next(t for t in tokens if t.text == "John")
+        assert html[john.start : john.start + 4] == "John"
+
+
+class TestPunctuationSplitting:
+    def test_allowed_punct_stays_attached(self):
+        assert [t.text for t in tokenize_text("Findlay, OH")] == ["Findlay,", "OH"]
+        assert [t.text for t in tokenize_text("(740) 335-5555")] == [
+            "(740)", "335-5555",
+        ]
+
+    def test_disallowed_punct_split_off(self):
+        assert [t.text for t in tokenize_text("Price: $12.95")] == [
+            "Price", ":", "$", "12.95",
+        ]
+
+    def test_colon_and_semicolon_each_own_token(self):
+        assert [t.text for t in tokenize_text("a:b;c")] == ["a", ":", "b", ";", "c"]
+
+    def test_ws_before_tracks_gluing(self):
+        tokens = tokenize_text("Price: tag")
+        flags = [(t.text, t.ws_before) for t in tokens]
+        assert flags == [("Price", True), (":", False), ("tag", True)]
+
+    def test_custom_allowed_punct(self):
+        allowed = frozenset(".,()-:'")
+        assert [t.text for t in tokenize_text("O'Brien 5:30", allowed)] == [
+            "O'Brien", "5:30",
+        ]
+
+
+class TestSeparators:
+    def test_html_tags_are_separators(self):
+        tokens = tokenize_html("<br>")
+        assert is_separator(tokens[0])
+
+    def test_disallowed_punct_is_separator(self):
+        tokens = tokenize_text("a | b")
+        bar = next(t for t in tokens if t.text == "|")
+        assert is_separator(bar)
+
+    def test_allowed_punct_run_is_not_separator(self):
+        tokens = tokenize_text("a -- b")
+        dashes = next(t for t in tokens if t.text == "--")
+        assert not is_separator(dashes)
+
+    def test_words_are_not_separators(self):
+        for token in tokenize_text("John Smith, Findlay"):
+            assert not is_separator(token)
+
+
+class TestPageCache:
+    def test_tokens_cached(self):
+        page = Page(url="x", html="<b>hi</b>")
+        assert page.tokens() is page.tokens()
+
+    def test_invalidate_cache(self):
+        page = Page(url="x", html="<b>hi</b>")
+        first = page.tokens()
+        page.html = "<b>bye</b>"
+        page.invalidate_cache()
+        assert [t.text for t in page.tokens()] == ["<b>", "bye", "</b>"]
+        assert page.tokens() is not first
+
+    def test_text_tokens_excludes_tags(self):
+        page = Page(url="x", html="<b>hi there</b>")
+        assert [t.text for t in page.text_tokens()] == ["hi", "there"]
+
+
+class TestProperties:
+    @given(st.text(max_size=100))
+    def test_no_token_contains_whitespace(self, text):
+        for token in tokenize_text(text):
+            assert not any(ch.isspace() for ch in token.text)
+
+    @given(st.text(max_size=100))
+    def test_no_empty_tokens(self, text):
+        for token in tokenize_text(text):
+            assert token.text
+
+    @given(st.text(max_size=100))
+    def test_non_separator_characters_preserved_in_order(self, text):
+        # Joining all token texts reproduces the input minus whitespace.
+        joined = "".join(t.text for t in tokenize_text(text))
+        expected = "".join(ch for ch in text if not ch.isspace())
+        assert joined == expected
+
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=60))
+    def test_indices_always_sequential(self, text):
+        tokens = tokenize_text(text)
+        assert [t.index for t in tokens] == list(range(len(tokens)))

@@ -1,0 +1,99 @@
+"""Tests for wrapper induction and application."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.exceptions import ExtractionError
+from repro.core.pipeline import SegmentationPipeline
+from repro.sitegen.domains.propertytax import build_allegheny
+from repro.sitegen.domains.whitepages import build_sprint_canada
+from repro.sitegen.site import GeneratedSite
+from repro.webdoc.page import Page
+from repro.wrapper import (
+    apply_wrapper,
+    induce_wrapper,
+    score_wrapped_rows,
+)
+
+
+def three_page_site(builder, counts=(12, 12, 9)):
+    spec = dataclasses.replace(builder(), records_per_page=counts)
+    return GeneratedSite(spec)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A wrapper induced from a 2-page sample of a 3-page site."""
+    site = three_page_site(build_allegheny)
+    run = SegmentationPipeline("prob").segment_site(
+        site.list_pages[:2],
+        [site.detail_pages(0), site.detail_pages(1)],
+    )
+    wrapper = induce_wrapper(run.pages[0], run.template_verdict)
+    return site, run, wrapper
+
+
+class TestInduce:
+    def test_boundary_learned(self, trained):
+        _, _, wrapper = trained
+        assert wrapper.boundary  # non-empty tag pattern
+        assert all(tag.startswith("<") for tag in wrapper.boundary)
+
+    def test_column_profiles_shape(self, trained):
+        _, _, wrapper = trained
+        assert wrapper.column_profiles.shape[1] == 8
+        assert wrapper.k >= 4
+
+    def test_template_carried(self, trained):
+        _, run, wrapper = trained
+        assert wrapper.table_slot_id == run.template_verdict.table_slot_id
+
+    def test_empty_segmentation_raises(self, trained):
+        site, run, _ = trained
+        empty_run = dataclasses.replace(run.pages[0])
+        empty_run.segmentation = dataclasses.replace(
+            run.pages[0].segmentation
+        ) if dataclasses.is_dataclass(run.pages[0].segmentation) else None
+        from repro.core.results import Segmentation
+
+        empty_run.segmentation = Segmentation(
+            method="prob", records=[], table=run.pages[0].table
+        )
+        with pytest.raises(ExtractionError):
+            induce_wrapper(empty_run, run.template_verdict)
+
+
+class TestApply:
+    def test_unseen_page_extracted_without_details(self, trained):
+        site, _, wrapper = trained
+        rows = apply_wrapper(wrapper, site.list_pages[2])
+        correct, total = score_wrapped_rows(rows, site.truth[2])
+        assert total == 9
+        assert correct >= total - 1
+
+    def test_row_columns_non_decreasing(self, trained):
+        site, _, wrapper = trained
+        rows = apply_wrapper(wrapper, site.list_pages[2])
+        assert rows
+        for row in rows:
+            assert len(row.columns) == len(row.extracts)
+            assert all(a <= b for a, b in zip(row.columns, row.columns[1:]))
+
+    def test_foreign_page_yields_nothing(self, trained):
+        _, _, wrapper = trained
+        foreign = Page("f", "<html><body><p>nothing tabular</p></body></html>")
+        assert apply_wrapper(wrapper, foreign) == []
+
+    def test_wrapper_generalizes_across_sites(self):
+        site = three_page_site(build_sprint_canada, counts=(10, 10, 7))
+        run = SegmentationPipeline("prob").segment_site(
+            site.list_pages[:2],
+            [site.detail_pages(0), site.detail_pages(1)],
+        )
+        wrapper = induce_wrapper(run.pages[0], run.template_verdict)
+        rows = apply_wrapper(wrapper, site.list_pages[2])
+        correct, total = score_wrapped_rows(rows, site.truth[2])
+        assert correct >= total - 1
