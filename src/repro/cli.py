@@ -33,6 +33,20 @@ from repro.sitegen.corpus import SITE_BUILDERS, TABLE4_ORDER, build_corpus, buil
 __all__ = ["main", "build_parser"]
 
 
+def _rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"{value} not in [0, 1]")
+    return value
+
+
+def _request_budget(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"{value} is not a positive count")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -53,6 +67,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     segment.add_argument(
         "--page", type=int, default=None, help="only this list page"
+    )
+    segment.add_argument(
+        "--fault-rate",
+        type=_rate,
+        default=0.0,
+        help=(
+            "chaos mode: crawl the site through a fault-injecting "
+            "transport with this transient-failure rate (0-1)"
+        ),
+    )
+    segment.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault plan (chaos runs are reproducible)",
+    )
+    segment.add_argument(
+        "--max-requests",
+        type=_request_budget,
+        default=None,
+        help="per-site request budget for the chaos crawl",
     )
 
     table4 = commands.add_parser(
@@ -106,9 +141,28 @@ def _cmd_sites(out) -> int:
 
 def _cmd_segment(args, out) -> int:
     site = build_site(args.site)
-    run = SegmentationPipeline(args.method).segment_generated_site(site)
+    pipeline = SegmentationPipeline(args.method)
+    if args.fault_rate > 0.0 or args.max_requests is not None:
+        from repro.crawl.resilient import CrawlBudget
+        from repro.sitegen.faults import FaultPlan
+
+        run = pipeline.segment_generated_site(
+            site,
+            fault_plan=FaultPlan(
+                seed=args.fault_seed, transient_rate=args.fault_rate
+            ),
+            budget=CrawlBudget(max_requests=args.max_requests),
+        )
+    else:
+        run = pipeline.segment_generated_site(site)
+    if run.crawl_health is not None:
+        print(f"crawl: {run.crawl_health.summary()}", file=out)
+    truth_by_url = {
+        site.list_pages[truth.page_index].url: truth for truth in site.truth
+    }
     status = 0
-    for page_run, truth in zip(run.pages, site.truth):
+    for page_run in run.pages:
+        truth = truth_by_url[page_run.page.url]
         if args.page is not None and truth.page_index != args.page:
             continue
         score = score_page(page_run.segmentation, truth)
@@ -121,6 +175,12 @@ def _cmd_segment(args, out) -> int:
         for record in page_run.segmentation.records:
             print(f"  {record}", file=out)
         if score.cor < len(truth.rows):
+            status = 1
+    covered = {page_run.page.url for page_run in run.pages}
+    for url, truth in truth_by_url.items():
+        if args.page is not None and truth.page_index != args.page:
+            continue
+        if url not in covered:  # quarantined or budget-starved page
             status = 1
     return status
 

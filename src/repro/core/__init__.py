@@ -17,7 +17,9 @@ _EXPORTS = {
     "ScoreCard": "repro.core.evaluation",
     "score_page": "repro.core.evaluation",
     "truth_assignment": "repro.core.evaluation",
+    "CircuitOpenError": "repro.core.exceptions",
     "ConfigError": "repro.core.exceptions",
+    "CrawlBudgetExceededError": "repro.core.exceptions",
     "CrawlError": "repro.core.exceptions",
     "CspError": "repro.core.exceptions",
     "EmptyProblemError": "repro.core.exceptions",
@@ -27,9 +29,11 @@ _EXPORTS = {
     "InferenceError": "repro.core.exceptions",
     "InsufficientPagesError": "repro.core.exceptions",
     "ReproError": "repro.core.exceptions",
+    "PermanentFetchError": "repro.core.exceptions",
     "SiteGenError": "repro.core.exceptions",
     "SolverBudgetExceededError": "repro.core.exceptions",
     "TemplateError": "repro.core.exceptions",
+    "TransientFetchError": "repro.core.exceptions",
     "TemplateNotFoundError": "repro.core.exceptions",
     "UnsatisfiableError": "repro.core.exceptions",
     "HybridConfig": "repro.core.hybrid",

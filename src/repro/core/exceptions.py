@@ -87,3 +87,35 @@ class CrawlError(ReproError):
 
 class FetchError(CrawlError):
     """A URL was requested that the simulated site does not serve."""
+
+
+class TransientFetchError(FetchError):
+    """A fetch failed in a way that may succeed on retry.
+
+    Raised by fault-injecting transports (simulated timeouts, connection
+    resets).  :class:`~repro.crawl.resilient.ResilientFetcher` retries
+    these with backoff; every other :class:`FetchError` is treated as
+    permanent.
+    """
+
+
+class PermanentFetchError(FetchError):
+    """A fetch failed definitively (simulated 404/410); retrying is useless."""
+
+
+class CircuitOpenError(FetchError):
+    """A fetch was refused fast because its URL-class circuit is open.
+
+    Not a server response at all: the resilient fetcher has seen too
+    many consecutive failures in this URL-class and is shedding load
+    until the cooldown elapses.
+    """
+
+
+class CrawlBudgetExceededError(CrawlError):
+    """The per-site request or deadline budget ran out mid-crawl.
+
+    The resilient layer converts this into gaps in the crawl (pages it
+    never attempted) rather than letting it propagate, so it surfaces
+    only when a caller uses the strict fetch API directly.
+    """

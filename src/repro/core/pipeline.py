@@ -16,6 +16,15 @@ The pipeline never raises on a *degenerate page* (no extracts survive
 the filters): it returns an empty segmentation with the reason in
 ``meta`` so corpus-wide runs always complete, mirroring how the paper
 reports such pages as rows of unsegmented records.
+
+The same best-effort stance extends to *degenerate samples* from
+incomplete crawls: template failures (including a raised
+:class:`~repro.core.exceptions.TemplateNotFoundError`) downgrade to the
+whole-page fallback, a single surviving list page is segmented without
+template induction, and a :class:`~repro.crawl.resilient.CrawlHealth`
+report handed in by the crawl layer is carried on the
+:class:`SiteRun` and summarized into every ``Segmentation.meta`` — so
+evaluation can condition accuracy on crawl completeness.
 """
 
 from __future__ import annotations
@@ -24,14 +33,24 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.config import METHODS, PipelineConfig
-from repro.core.exceptions import ConfigError, EmptyProblemError
+from repro.core.exceptions import (
+    ConfigError,
+    CspError,
+    EmptyProblemError,
+    InferenceError,
+    InsufficientPagesError,
+    TemplateNotFoundError,
+)
 from repro.core.results import Segmentation
+from repro.crawl.resilient import CrawlBudget, CrawlHealth, RetryPolicy
 from repro.csp.segmenter import CspSegmenter
 from repro.extraction.extracts import extract_strings
 from repro.extraction.observations import ObservationTable
 from repro.prob.segmenter import ProbabilisticSegmenter
+from repro.sitegen.faults import FaultPlan
 from repro.sitegen.site import GeneratedSite
 from repro.template.finder import TemplateFinder, TemplateVerdict
+from repro.template.model import PageTemplate
 from repro.template.table_slot import resolve_table_regions
 from repro.webdoc.page import Page
 
@@ -58,16 +77,35 @@ class PageRun:
 
 @dataclass
 class SiteRun:
-    """A pipeline run over one site's sample."""
+    """A pipeline run over one site's sample.
+
+    Attributes:
+        method: the segmentation method used.
+        template_verdict: outcome of template induction.
+        pages: one :class:`PageRun` per surviving list page.
+        crawl_health: retrieval-layer report when the sample came from
+            a (possibly fault-injected) crawl; ``None`` for pristine
+            samples handed in directly.
+    """
 
     method: str
     template_verdict: TemplateVerdict
     pages: list[PageRun] = field(default_factory=list)
+    crawl_health: CrawlHealth | None = None
 
     @property
     def whole_page_fallback(self) -> bool:
         """Did the site hit the template fallback (Table 4 note *b*)?"""
         return not self.template_verdict.ok
+
+
+def _failed_verdict(reason: str, page_count: int) -> TemplateVerdict:
+    """A verdict that routes every page to the whole-page fallback."""
+    return TemplateVerdict(
+        template=PageTemplate(aligned=(), page_count=page_count),
+        ok=False,
+        reason=reason,
+    )
 
 
 class SegmentationPipeline:
@@ -93,26 +131,73 @@ class SegmentationPipeline:
             )
         return ProbabilisticSegmenter(self.config.prob)
 
+    def _find_template(
+        self, list_pages: list[Page], health: CrawlHealth | None
+    ) -> TemplateVerdict:
+        """Template induction downgraded to best-effort.
+
+        Degradation ladder: a full sample gets real induction; a
+        raised template failure becomes the paper's whole-page
+        fallback; a single-page sample (the rest quarantined by the
+        crawl) skips induction entirely.
+        """
+        if len(list_pages) == 1:
+            if health is not None:
+                health.fallbacks.append("single_list_page")
+            return _failed_verdict(
+                "only one list page survived the crawl; template "
+                "induction needs two",
+                page_count=1,
+            )
+        try:
+            return self._finder.find(list_pages)
+        except (TemplateNotFoundError, InsufficientPagesError) as error:
+            if health is not None:
+                health.fallbacks.append("whole_page_template")
+            return _failed_verdict(str(error), page_count=len(list_pages))
+
     def segment_site(
         self,
         list_pages: list[Page],
         detail_pages_per_list: list[list[Page]],
+        crawl_health: CrawlHealth | None = None,
     ) -> SiteRun:
         """Run the full method over one site's sample.
 
         Args:
-            list_pages: the sample list pages (>= 2).
+            list_pages: the sample list pages.  Two or more get the
+                paper's setup; one is segmented under the whole-page
+                fallback; zero yields an empty run (the crawl found
+                nothing usable).
             detail_pages_per_list: for each list page, its detail
-                pages in link order (index = record number).
+                pages in link order (index = record number).  Sets may
+                be incomplete — missing detail pages shift record
+                numbering and show up as crawl gaps, not errors.
+            crawl_health: the retrieval layer's report, attached to
+                the run and summarized into each segmentation's meta.
         """
         if len(list_pages) != len(detail_pages_per_list):
             raise ConfigError(
                 "need one detail-page list per list page "
                 f"({len(list_pages)} vs {len(detail_pages_per_list)})"
             )
-        verdict = self._finder.find(list_pages)
+        if not list_pages:
+            if crawl_health is not None:
+                crawl_health.fallbacks.append("empty_sample")
+            return SiteRun(
+                method=self.method,
+                template_verdict=_failed_verdict(
+                    "no list pages survived the crawl", page_count=0
+                ),
+                crawl_health=crawl_health,
+            )
+        verdict = self._find_template(list_pages, crawl_health)
         regions = resolve_table_regions(list_pages, verdict)
-        run = SiteRun(method=self.method, template_verdict=verdict)
+        run = SiteRun(
+            method=self.method,
+            template_verdict=verdict,
+            crawl_health=crawl_health,
+        )
 
         for index, region in enumerate(regions):
             started = perf_counter()
@@ -129,6 +214,17 @@ class SegmentationPipeline:
             segmentation = self._segment_table(table)
             segmentation.meta.setdefault("template_ok", verdict.ok)
             segmentation.meta.setdefault("whole_page", region.whole_page)
+            if crawl_health is not None:
+                segmentation.meta.setdefault(
+                    "crawl",
+                    {
+                        "gap_count": crawl_health.gap_count,
+                        "retries": crawl_health.retries,
+                        "recovered": crawl_health.recovered,
+                        "quarantined": len(crawl_health.quarantined_pages),
+                        "budget_exhausted": crawl_health.budget_exhausted,
+                    },
+                )
             run.pages.append(
                 PageRun(
                     page=region.page,
@@ -139,11 +235,34 @@ class SegmentationPipeline:
             )
         return run
 
-    def segment_generated_site(self, site: GeneratedSite) -> SiteRun:
-        """Convenience wrapper for simulator sites."""
+    def segment_generated_site(
+        self,
+        site: GeneratedSite,
+        *,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        budget: CrawlBudget | None = None,
+    ) -> SiteRun:
+        """Convenience wrapper for simulator sites.
+
+        Without a fault plan the site's true pages are used directly
+        (the pristine fast path).  With one, the sample is obtained by
+        actually crawling the site through the resilient retrieval
+        stack, and the run carries the resulting
+        :class:`~repro.crawl.resilient.CrawlHealth`.
+        """
+        if fault_plan is None and retry is None and budget is None:
+            return self.segment_site(
+                site.list_pages,
+                [site.detail_pages(index) for index in range(len(site.list_pages))],
+            )
+        from repro.crawl.crawler import crawl_site
+
+        crawl = crawl_site(site, fault_plan=fault_plan, retry=retry, budget=budget)
         return self.segment_site(
-            site.list_pages,
-            [site.detail_pages(index) for index in range(len(site.list_pages))],
+            crawl.list_pages,
+            crawl.detail_pages_per_list,
+            crawl_health=crawl.health,
         )
 
     def _segment_table(self, table: ObservationTable) -> Segmentation:
@@ -157,10 +276,24 @@ class SegmentationPipeline:
         segmenter = self._make_segmenter()
         try:
             return segmenter.segment(table)
-        except EmptyProblemError:  # pragma: no cover - guarded above
+        except EmptyProblemError:
+            # Segmenters may decide the problem is empty on criteria
+            # stricter than "no observations" (e.g. every observation
+            # filtered as unusable); degrade to an empty result.
             return Segmentation(
                 method=self.method,
                 records=[],
                 table=table,
                 meta={"empty_problem": True},
+            )
+        except (InferenceError, CspError) as error:
+            # A page the method cannot segment (degenerate lattice from
+            # an incomplete crawl, constraints unsatisfiable at every
+            # relaxation level) is reported as a page of unsegmented
+            # records — the paper's FN rows — not a crashed site run.
+            return Segmentation(
+                method=self.method,
+                records=[],
+                table=table,
+                meta={"segmenter_error": str(error)},
             )

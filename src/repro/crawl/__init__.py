@@ -1,10 +1,13 @@
-"""Site navigation: fetching, crawling, list/detail classification."""
+"""Site navigation: fetching, crawling, list/detail classification,
+and the resilient retrieval layer (retries, budgets, circuit breaking)."""
 
 from repro.crawl.classifier import ClassifierConfig, PageClassifier, page_similarity
 from repro.crawl.crawler import (
     CrawlResult,
     Crawler,
+    SiteCrawl,
     crawl_generated_site,
+    crawl_site,
     extract_links,
 )
 from repro.crawl.discover import (
@@ -14,18 +17,34 @@ from repro.crawl.discover import (
     follow_next_chain,
 )
 from repro.crawl.fetcher import SiteFetcher
+from repro.crawl.resilient import (
+    CircuitBreaker,
+    CrawlBudget,
+    CrawlHealth,
+    ResilientFetcher,
+    RetryPolicy,
+    url_class,
+)
 
 __all__ = [
+    "CircuitBreaker",
     "ClassifierConfig",
+    "CrawlBudget",
+    "CrawlHealth",
     "CrawlResult",
     "Crawler",
     "DiscoveredSite",
     "PageClassifier",
+    "ResilientFetcher",
+    "RetryPolicy",
+    "SiteCrawl",
     "SiteFetcher",
     "crawl_generated_site",
+    "crawl_site",
     "discover_site",
     "extract_links",
     "extract_links_with_text",
     "follow_next_chain",
     "page_similarity",
+    "url_class",
 ]

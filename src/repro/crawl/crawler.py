@@ -8,6 +8,16 @@ fetch what resolves, and use the
 pages from advertisements and other chrome targets.  Detail pages are
 returned in link order, which is the record order the segmenters
 assume.
+
+Failure handling is two-tier: :meth:`Crawler.try_collect` records a
+degenerate page (nothing fetchable) in the result instead of raising,
+and :func:`crawl_generated_site` crawls every list page even when some
+fail — one dead results page quarantines that page, not the site.
+:func:`crawl_site` is the fault-aware variant: it routes every fetch
+through a :class:`~repro.crawl.resilient.ResilientFetcher` (optionally
+over a :class:`~repro.sitegen.faults.FaultPlan` transport) and returns
+a :class:`SiteCrawl` carrying the
+:class:`~repro.crawl.resilient.CrawlHealth` report.
 """
 
 from __future__ import annotations
@@ -17,11 +27,25 @@ from dataclasses import dataclass, field
 from repro.core.exceptions import CrawlError
 from repro.crawl.classifier import ClassifierConfig, PageClassifier
 from repro.crawl.fetcher import SiteFetcher
+from repro.crawl.resilient import (
+    CrawlBudget,
+    CrawlHealth,
+    ResilientFetcher,
+    RetryPolicy,
+)
+from repro.sitegen.faults import FaultPlan, FaultyTransport
 from repro.sitegen.site import GeneratedSite
 from repro.webdoc.html import EventKind, lex_html
 from repro.webdoc.page import Page
 
-__all__ = ["CrawlResult", "Crawler", "extract_links", "crawl_generated_site"]
+__all__ = [
+    "CrawlResult",
+    "Crawler",
+    "SiteCrawl",
+    "crawl_generated_site",
+    "crawl_site",
+    "extract_links",
+]
 
 
 def extract_links(html: str) -> list[str]:
@@ -53,13 +77,22 @@ class CrawlResult:
         list_page: the crawled list page.
         detail_pages: the classified detail pages, in link order.
         other_pages: fetched pages judged not to be detail pages.
-        dead_links: hrefs the site did not serve.
+        dead_links: hrefs that could not be obtained (dead, budget,
+            circuit — see the fetcher's health report for reasons).
+        error: set when the crawl degenerated (no link fetchable at
+            all); the page should be quarantined, not segmented.
     """
 
     list_page: Page
     detail_pages: list[Page] = field(default_factory=list)
     other_pages: list[Page] = field(default_factory=list)
     dead_links: list[str] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        """Did this page's crawl degenerate entirely?"""
+        return self.error is not None
 
 
 class Crawler:
@@ -67,17 +100,17 @@ class Crawler:
 
     def __init__(
         self,
-        fetcher: SiteFetcher,
+        fetcher: SiteFetcher | ResilientFetcher,
         classifier_config: ClassifierConfig | None = None,
     ) -> None:
         self.fetcher = fetcher
         self.classifier = PageClassifier(classifier_config)
 
-    def collect(self, list_page: Page) -> CrawlResult:
-        """Crawl one list page.
+    def try_collect(self, list_page: Page) -> CrawlResult:
+        """Crawl one list page, recording failure instead of raising.
 
-        Raises:
-            CrawlError: the page links to nothing fetchable at all.
+        A page whose links are all dead comes back with ``error`` set
+        and empty page lists — a quarantinable partial result.
         """
         result = CrawlResult(list_page=list_page)
         fetched: list[Page] = []
@@ -90,13 +123,42 @@ class Crawler:
             else:
                 fetched.append(page)
         if not fetched:
-            raise CrawlError(
+            result.error = (
                 f"list page {list_page.url!r} links to no fetchable pages"
             )
+            return result
         details, others = self.classifier.split_details(fetched)
         result.detail_pages = details
         result.other_pages = others
         return result
+
+    def collect(self, list_page: Page) -> CrawlResult:
+        """Strict variant of :meth:`try_collect`.
+
+        Raises:
+            CrawlError: the page links to nothing fetchable at all.
+        """
+        result = self.try_collect(list_page)
+        if result.failed:
+            raise CrawlError(result.error)
+        return result
+
+
+@dataclass
+class SiteCrawl:
+    """Everything a fault-aware site crawl produced.
+
+    ``list_pages``/``detail_pages_per_list`` hold only the pages that
+    survived quarantine, shaped exactly how
+    :meth:`~repro.core.pipeline.SegmentationPipeline.segment_site`
+    wants them; ``results`` keeps every per-page outcome (including
+    quarantined ones) and ``health`` the full retry/gap accounting.
+    """
+
+    list_pages: list[Page] = field(default_factory=list)
+    detail_pages_per_list: list[list[Page]] = field(default_factory=list)
+    results: list[CrawlResult] = field(default_factory=list)
+    health: CrawlHealth = field(default_factory=CrawlHealth)
 
 
 def crawl_generated_site(
@@ -107,13 +169,48 @@ def crawl_generated_site(
 
     Returns the tuple the segmentation pipeline wants — (list pages,
     detail pages per list page) — plus the raw crawl results for
-    inspection.
+    inspection.  A list page whose links are all dead no longer aborts
+    the site: its result carries ``error`` and empty detail pages.
     """
     fetcher = SiteFetcher(site)
     crawler = Crawler(fetcher, classifier_config)
-    results = [crawler.collect(page) for page in site.list_pages]
+    results = [crawler.try_collect(page) for page in site.list_pages]
     return (
         list(site.list_pages),
         [result.detail_pages for result in results],
         results,
     )
+
+
+def crawl_site(
+    site: GeneratedSite,
+    classifier_config: ClassifierConfig | None = None,
+    *,
+    fault_plan: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    budget: CrawlBudget | None = None,
+) -> SiteCrawl:
+    """Crawl a simulator site through the resilient retrieval stack.
+
+    Every detail-page fetch goes through a
+    :class:`~repro.crawl.resilient.ResilientFetcher` — over a
+    :class:`~repro.sitegen.faults.FaultyTransport` when ``fault_plan``
+    is given — so transient faults are retried, budgets enforced, and
+    every unresolved URL recorded as a gap.  Degenerate list pages are
+    quarantined (dropped from the sample, listed in
+    ``health.quarantined_pages``) instead of aborting the site.
+    """
+    transport = site if fault_plan is None else FaultyTransport(site, fault_plan)
+    fetcher = ResilientFetcher(transport, retry=retry, budget=budget)
+    crawler = Crawler(fetcher, classifier_config)
+    crawl = SiteCrawl(health=fetcher.health)
+
+    for list_page in site.list_pages:
+        result = crawler.try_collect(list_page)
+        crawl.results.append(result)
+        if result.failed:
+            crawl.health.quarantined_pages.append(list_page.url)
+            continue
+        crawl.list_pages.append(list_page)
+        crawl.detail_pages_per_list.append(result.detail_pages)
+    return crawl

@@ -4,13 +4,19 @@ The paper's vision (Section 3): "the user provides a pointer to the
 top-level page ... and the system automatically navigates the site,
 retrieving all pages".  :class:`SiteFetcher` is the retrieval layer of
 that loop for simulator sites: URL in, :class:`~repro.webdoc.page.Page`
-out, with request accounting and a response cache — the observable
-behaviour of a polite crawler, minus the network.
+out, with request accounting and both a positive and a negative
+response cache — the observable behaviour of a polite crawler, minus
+the network.
+
+Transient failures (:class:`~repro.core.exceptions.TransientFetchError`,
+raised by fault-injecting transports) are deliberately *not*
+negative-cached: they are the one failure class where retrying the same
+URL is supposed to succeed.
 """
 
 from __future__ import annotations
 
-from repro.core.exceptions import FetchError
+from repro.core.exceptions import FetchError, TransientFetchError
 from repro.sitegen.site import GeneratedSite
 from repro.webdoc.page import Page
 
@@ -18,27 +24,44 @@ __all__ = ["SiteFetcher"]
 
 
 class SiteFetcher:
-    """Fetch pages from a :class:`GeneratedSite` with caching."""
+    """Fetch pages from a :class:`GeneratedSite` with caching.
+
+    Any object with ``fetch(url) -> Page`` works as the source — a
+    :class:`GeneratedSite` or a
+    :class:`~repro.sitegen.faults.FaultyTransport` wrapping one.
+    """
 
     def __init__(self, site: GeneratedSite) -> None:
         self.site = site
-        self.requests = 0  #: cache-missing fetches performed
-        self.failures = 0  #: fetches that raised (dead links)
+        self.requests = 0  #: fetches actually forwarded to the site
+        self.failures = 0  #: dead URLs discovered (each counted once)
         self._cache: dict[str, Page] = {}
+        self._dead: dict[str, str] = {}  #: url -> cached failure message
 
     def fetch(self, url: str) -> Page:
         """Fetch a URL.
+
+        A URL that failed permanently before is answered from the
+        negative cache without re-requesting it (and without inflating
+        the ``requests``/``failures`` counters again).
 
         Raises:
             FetchError: the site does not serve this URL.
         """
         if url in self._cache:
             return self._cache[url]
+        if url in self._dead:
+            raise FetchError(self._dead[url])
         self.requests += 1
         try:
             page = self.site.fetch(url)
-        except FetchError:
+        except TransientFetchError:
+            # Retryable by definition: never negative-cache it, but the
+            # attempt still hit the wire, so ``requests`` already counted.
+            raise
+        except FetchError as error:
             self.failures += 1
+            self._dead[url] = str(error)
             raise
         self._cache[url] = page
         return page
@@ -49,3 +72,12 @@ class SiteFetcher:
             return self.fetch(url)
         except FetchError:
             return None
+
+    def cached(self, url: str) -> Page | None:
+        """The cached page for ``url``, if a fetch already succeeded."""
+        return self._cache.get(url)
+
+    @property
+    def dead_urls(self) -> frozenset[str]:
+        """URLs known (from this fetcher's lifetime) to be dead."""
+        return frozenset(self._dead)

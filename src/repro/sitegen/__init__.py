@@ -8,6 +8,7 @@ from repro.sitegen.corpus import (
     build_site,
 )
 from repro.sitegen.corruptions import MissingDetailField, Quirks, ValueMismatch
+from repro.sitegen.faults import FaultKind, FaultPlan, FaultyTransport
 from repro.sitegen.rng import SiteRng
 from repro.sitegen.schema import FieldSpec, RecordSchema
 from repro.sitegen.site import (
@@ -20,6 +21,9 @@ from repro.sitegen.site import (
 
 __all__ = [
     "Corpus",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyTransport",
     "FieldSpec",
     "GeneratedSite",
     "ListPageTruth",

@@ -1,0 +1,240 @@
+"""Deterministic fault injection for simulated crawls.
+
+The paper's vision (Section 3) has the system "automatically navigate
+the site, retrieving all pages" — which on the real web means
+timeouts, dead links, half-downloaded documents and servers that melt
+under load.  The simulator's :class:`~repro.sitegen.site.GeneratedSite`
+never misbehaves, so nothing downstream ever had to cope.
+
+:class:`FaultPlan` + :class:`FaultyTransport` close that gap: a seeded,
+fully deterministic fault model layered over any object with a
+``fetch(url)`` method.  Determinism is the point — every decision
+(does this URL fail?  how many times?  where is the payload cut?) is a
+pure function of ``(plan.seed, url)``, so a chaos run is exactly
+reproducible and every gap a crawl reports can be replayed.
+
+Fault classes, mirroring what a crawler sees in the wild:
+
+* **transient** — the first *k* attempts raise
+  :class:`~repro.core.exceptions.TransientFetchError` (a timeout /
+  connection reset), then the page is served normally;
+* **permanent** — every attempt raises
+  :class:`~repro.core.exceptions.PermanentFetchError` (a 404);
+* **truncated** — the connection "drops" mid-body: the page is served
+  with its HTML cut at a deterministic fraction;
+* **garbled** — the payload arrives corrupted: a deterministic sprinkle
+  of characters is overwritten with junk;
+* **latency** — the page is slow; no real sleeping happens, the
+  simulated cost is exposed via :meth:`FaultyTransport.latency_of` and
+  charged against the resilient fetcher's deadline budget.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import random
+import string
+import zlib
+from dataclasses import dataclass
+
+from repro.core.exceptions import (
+    ConfigError,
+    PermanentFetchError,
+    TransientFetchError,
+)
+from repro.webdoc.page import Page
+
+__all__ = ["FaultKind", "FaultPlan", "FaultyTransport", "stable_unit"]
+
+#: Characters used to overwrite garbled payload positions.
+_GARBLE_ALPHABET = string.ascii_letters + string.digits + " ~^"
+
+
+class FaultKind(enum.Enum):
+    """The failure mode a :class:`FaultPlan` assigns to one URL."""
+
+    NONE = "none"
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+    TRUNCATED = "truncated"
+    GARBLED = "garbled"
+
+
+def stable_unit(key: str) -> float:
+    """A deterministic, well-mixed draw in [0, 1) from ``key``.
+
+    SHA-256 rather than ``hash()`` (salted per interpreter) or CRC-32
+    (linear: flipping one key bit XORs the output by a constant, so
+    nearby seeds would make near-identical decisions for every URL).
+    """
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _unit(seed: int, salt: str, url: str) -> float:
+    """A deterministic draw in [0, 1) from ``(seed, salt, url)``."""
+    return stable_unit(f"{seed}:{salt}:{url}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of which URLs fail, and how.
+
+    Rates are marginal probabilities over the URL space; each URL draws
+    once and the draw is bucketed in a fixed precedence order
+    (permanent, transient, truncated, garbled), so the rates must sum
+    to at most 1.
+
+    Attributes:
+        seed: the master seed; two plans with equal fields make
+            identical decisions for every URL.
+        transient_rate: fraction of URLs that fail transiently.
+        permanent_rate: fraction of URLs that 404 forever.
+        truncated_rate: fraction of URLs served with a cut payload.
+        garbled_rate: fraction of URLs served with corrupted bytes.
+        latency_rate: fraction of URLs that are slow (orthogonal to the
+            failure buckets — a transient URL can also be slow).
+        latency_s: simulated seconds added to each slow URL's fetch.
+        max_transient_failures: a transient URL fails between 1 and
+            this many times before recovering (per-URL count drawn
+            deterministically).
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    permanent_rate: float = 0.0
+    truncated_rate: float = 0.0
+    garbled_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_s: float = 0.25
+    max_transient_failures: int = 2
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.transient_rate,
+            self.permanent_rate,
+            self.truncated_rate,
+            self.garbled_rate,
+            self.latency_rate,
+        )
+        if any(rate < 0.0 or rate > 1.0 for rate in rates):
+            raise ConfigError(f"fault rates must lie in [0, 1]: {rates}")
+        fault_total = sum(rates[:4])
+        if fault_total > 1.0:
+            raise ConfigError(
+                f"fault rates sum to {fault_total:.3f} > 1; each URL can "
+                "only fail one way"
+            )
+        if self.max_transient_failures < 1:
+            raise ConfigError("max_transient_failures must be >= 1")
+        if self.latency_s < 0.0:
+            raise ConfigError("latency_s must be >= 0")
+
+    def fault_for(self, url: str) -> FaultKind:
+        """The failure mode assigned to ``url`` (pure, reproducible)."""
+        draw = _unit(self.seed, "kind", url)
+        edge = self.permanent_rate
+        if draw < edge:
+            return FaultKind.PERMANENT
+        edge += self.transient_rate
+        if draw < edge:
+            return FaultKind.TRANSIENT
+        edge += self.truncated_rate
+        if draw < edge:
+            return FaultKind.TRUNCATED
+        edge += self.garbled_rate
+        if draw < edge:
+            return FaultKind.GARBLED
+        return FaultKind.NONE
+
+    def failures_before_recovery(self, url: str) -> int:
+        """How many attempts a TRANSIENT url fails before serving."""
+        span = self.max_transient_failures
+        return 1 + int(_unit(self.seed, "count", url) * span)
+
+    def latency_of(self, url: str) -> float:
+        """Simulated extra seconds one fetch of ``url`` costs."""
+        if _unit(self.seed, "slow", url) < self.latency_rate:
+            return self.latency_s
+        return 0.0
+
+    def truncation_point(self, url: str, length: int) -> int:
+        """Where a TRUNCATED url's payload is cut (30-90% through)."""
+        fraction = 0.3 + 0.6 * _unit(self.seed, "cut", url)
+        return max(1, int(length * fraction))
+
+
+class FaultyTransport:
+    """A ``fetch(url)`` source that injects a :class:`FaultPlan`.
+
+    Wraps anything with ``fetch(url) -> Page`` (normally a
+    :class:`~repro.sitegen.site.GeneratedSite`).  Damaged payloads are
+    rendered once per URL and cached, so repeated fetches observe the
+    same corruption — like re-downloading from a broken cache.
+
+    Attributes:
+        attempts: fetch attempts per URL (drives transient recovery).
+        faults_raised: count of fetches that raised, by fault kind.
+    """
+
+    def __init__(self, site, plan: FaultPlan) -> None:
+        self.site = site
+        self.plan = plan
+        self.attempts: dict[str, int] = {}
+        self.faults_raised: dict[str, int] = {}
+        self._damaged: dict[str, Page] = {}
+
+    def latency_of(self, url: str) -> float:
+        """Simulated latency of fetching ``url`` (seconds)."""
+        return self.plan.latency_of(url)
+
+    def fetch(self, url: str) -> Page:
+        """Serve ``url`` through the fault plan.
+
+        Raises:
+            PermanentFetchError: the plan 404s this URL.
+            TransientFetchError: the plan fails this attempt; a later
+                attempt will succeed.
+            FetchError: the underlying site does not serve this URL.
+        """
+        self.attempts[url] = self.attempts.get(url, 0) + 1
+        kind = self.plan.fault_for(url)
+        if kind is FaultKind.PERMANENT:
+            self._count_fault(kind)
+            raise PermanentFetchError(f"injected 404 for {url!r}")
+        if kind is FaultKind.TRANSIENT:
+            if self.attempts[url] <= self.plan.failures_before_recovery(url):
+                self._count_fault(kind)
+                raise TransientFetchError(
+                    f"injected timeout for {url!r} "
+                    f"(attempt {self.attempts[url]})"
+                )
+        page = self.site.fetch(url)
+        if kind is FaultKind.TRUNCATED:
+            return self._damaged_page(url, page, self._truncate)
+        if kind is FaultKind.GARBLED:
+            return self._damaged_page(url, page, self._garble)
+        return page
+
+    def _count_fault(self, kind: FaultKind) -> None:
+        self.faults_raised[kind.value] = self.faults_raised.get(kind.value, 0) + 1
+
+    def _damaged_page(self, url: str, page: Page, damage) -> Page:
+        cached = self._damaged.get(url)
+        if cached is None:
+            cached = Page(url=page.url, html=damage(url, page.html), kind=page.kind)
+            self._damaged[url] = cached
+        return cached
+
+    def _truncate(self, url: str, html: str) -> str:
+        return html[: self.plan.truncation_point(url, len(html))]
+
+    def _garble(self, url: str, html: str) -> str:
+        """Overwrite ~5% of characters, deterministically per URL."""
+        rng = random.Random(zlib.crc32(f"{self.plan.seed}:garble:{url}".encode()))
+        chars = list(html)
+        for index in range(len(chars)):
+            if rng.random() < 0.05:
+                chars[index] = rng.choice(_GARBLE_ALPHABET)
+        return "".join(chars)

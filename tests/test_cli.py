@@ -56,6 +56,24 @@ class TestSegment:
         code, output = run_cli("segment", "michigan", "--method", "csp")
         assert code == 1  # page 2 has InC records
 
+    def test_chaos_flags_print_crawl_health(self):
+        code, output = run_cli(
+            "segment", "lee", "--method", "csp",
+            "--fault-rate", "0.3", "--fault-seed", "42",
+        )
+        assert output.startswith("crawl: requests=")
+        assert "retries=" in output and "gaps=" in output
+        assert "lee-list0.html" in output
+
+    def test_chaos_run_is_reproducible(self):
+        args = (
+            "segment", "lee", "--method", "csp",
+            "--fault-rate", "0.3", "--fault-seed", "7",
+        )
+        first = run_cli(*args)
+        second = run_cli(*args)
+        assert first[1].splitlines()[0] == second[1].splitlines()[0]
+
 
 class TestShow:
     def test_list_page_html(self):

@@ -46,6 +46,27 @@ class TestFetcher:
         assert fetcher.failures == 1
         assert fetcher.try_fetch("missing.html") is None
 
+    def test_dead_link_negative_cached(self):
+        # Repeated fetches of the same dead URL must answer from the
+        # negative cache: one request, one failure, however often asked.
+        site = build_site("ohio")
+        fetcher = SiteFetcher(site)
+        for _ in range(5):
+            assert fetcher.try_fetch("missing.html") is None
+        with pytest.raises(FetchError):
+            fetcher.fetch("missing.html")
+        assert fetcher.requests == 1
+        assert fetcher.failures == 1
+        assert fetcher.dead_urls == frozenset({"missing.html"})
+
+    def test_cached_probe(self):
+        site = build_site("ohio")
+        fetcher = SiteFetcher(site)
+        url = site.truth[0].rows[0].detail_url
+        assert fetcher.cached(url) is None
+        page = fetcher.fetch(url)
+        assert fetcher.cached(url) is page
+
 
 class TestClassifier:
     def test_same_template_pages_similar(self):
@@ -112,3 +133,34 @@ class TestCrawler:
         lonely = Page("x", '<a href="gone.html">only dead link</a>')
         with pytest.raises(CrawlError):
             crawler.collect(lonely)
+
+    def test_try_collect_records_failure_instead_of_raising(self):
+        site = build_site("ohio")
+        crawler = Crawler(SiteFetcher(site))
+        lonely = Page("x", '<a href="gone.html">only dead link</a>')
+        result = crawler.try_collect(lonely)
+        assert result.failed
+        assert "no fetchable pages" in result.error
+        assert result.detail_pages == []
+        assert result.dead_links == ["gone.html"]
+
+    def test_one_degenerate_list_page_does_not_abort_site(self):
+        # A site where one list page's links are all dead must still
+        # yield the other pages' crawls, with the failure recorded.
+        site = build_site("ohio")
+        dead = Page(
+            site.list_pages[0].url,
+            '<a href="gone-a.html">x</a> <a href="gone-b.html">y</a>',
+            kind="list",
+        )
+        original = site.list_pages[0]
+        site.list_pages[0] = dead
+        try:
+            list_pages, details_per_list, results = crawl_generated_site(site)
+        finally:
+            site.list_pages[0] = original
+        assert len(results) == len(site.list_pages)
+        assert results[0].failed and details_per_list[0] == []
+        assert not results[1].failed
+        expected = [p.url for p in site.detail_pages(1)]
+        assert [p.url for p in details_per_list[1]] == expected

@@ -1,0 +1,124 @@
+"""Tests for the deterministic fault-injection transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import (
+    ConfigError,
+    FetchError,
+    PermanentFetchError,
+    TransientFetchError,
+)
+from repro.sitegen.corpus import build_site
+from repro.sitegen.faults import FaultKind, FaultPlan, FaultyTransport
+
+
+class TestFaultPlanValidation:
+    def test_rates_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(transient_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(permanent_rate=-0.1)
+
+    def test_fault_rates_summing_past_one_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(transient_rate=0.6, permanent_rate=0.5)
+
+    def test_degenerate_knobs_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(max_transient_failures=0)
+        with pytest.raises(ConfigError):
+            FaultPlan(latency_s=-1.0)
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_decisions(self):
+        plan_a = FaultPlan(seed=7, transient_rate=0.3, permanent_rate=0.1)
+        plan_b = FaultPlan(seed=7, transient_rate=0.3, permanent_rate=0.1)
+        urls = [f"site-p0-detail{i}.html" for i in range(50)]
+        assert [plan_a.fault_for(u) for u in urls] == [
+            plan_b.fault_for(u) for u in urls
+        ]
+
+    def test_different_seeds_differ(self):
+        urls = [f"d{i}.html" for i in range(100)]
+        a = [FaultPlan(seed=1, transient_rate=0.5).fault_for(u) for u in urls]
+        b = [FaultPlan(seed=2, transient_rate=0.5).fault_for(u) for u in urls]
+        assert a != b
+
+    def test_rates_roughly_respected(self):
+        plan = FaultPlan(seed=3, transient_rate=0.3)
+        urls = [f"d{i}.html" for i in range(1000)]
+        hit = sum(1 for u in urls if plan.fault_for(u) is FaultKind.TRANSIENT)
+        assert 200 <= hit <= 400
+
+    def test_zero_rates_inject_nothing(self):
+        plan = FaultPlan(seed=9)
+        assert all(
+            plan.fault_for(f"u{i}") is FaultKind.NONE for i in range(50)
+        )
+        assert plan.latency_of("u0") == 0.0
+
+    def test_failure_counts_within_bounds(self):
+        plan = FaultPlan(seed=5, transient_rate=1.0, max_transient_failures=3)
+        counts = {plan.failures_before_recovery(f"u{i}") for i in range(200)}
+        assert counts <= {1, 2, 3}
+        assert len(counts) > 1
+
+
+class TestFaultyTransport:
+    def _transport(self, **kwargs):
+        site = build_site("ohio")
+        return site, FaultyTransport(site, FaultPlan(**kwargs))
+
+    def _urls_of_kind(self, site, plan, kind):
+        return [u for u in site.urls() if plan.fault_for(u) is kind]
+
+    def test_transient_url_recovers_after_k_failures(self):
+        site, transport = self._transport(seed=11, transient_rate=1.0)
+        url = site.truth[0].rows[0].detail_url
+        failures = transport.plan.failures_before_recovery(url)
+        for _ in range(failures):
+            with pytest.raises(TransientFetchError):
+                transport.fetch(url)
+        page = transport.fetch(url)
+        assert page.url == url
+        assert transport.faults_raised["transient"] == failures
+
+    def test_permanent_url_always_404s(self):
+        site, transport = self._transport(seed=11, permanent_rate=1.0)
+        url = site.truth[0].rows[0].detail_url
+        for _ in range(3):
+            with pytest.raises(PermanentFetchError):
+                transport.fetch(url)
+
+    def test_truncated_payload_is_shorter_and_stable(self):
+        site, transport = self._transport(seed=11, truncated_rate=1.0)
+        url = site.truth[0].rows[0].detail_url
+        original = site.fetch(url)
+        first = transport.fetch(url)
+        second = transport.fetch(url)
+        assert len(first.html) < len(original.html)
+        assert first.html == second.html
+        assert first is second  # damage rendered once, cached
+
+    def test_garbled_payload_differs_but_is_deterministic(self):
+        site = build_site("ohio")
+        url = site.truth[0].rows[0].detail_url
+        plan = FaultPlan(seed=13, garbled_rate=1.0)
+        a = FaultyTransport(site, plan).fetch(url)
+        b = FaultyTransport(site, plan).fetch(url)
+        assert a.html != site.fetch(url).html
+        assert len(a.html) == len(site.fetch(url).html)
+        assert a.html == b.html
+
+    def test_latency_charged_to_slow_urls_only(self):
+        site, transport = self._transport(seed=17, latency_rate=0.5, latency_s=0.4)
+        latencies = {transport.latency_of(u) for u in site.urls()}
+        assert latencies == {0.0, 0.4}
+
+    def test_dead_urls_pass_through_as_fetch_errors(self):
+        _, transport = self._transport(seed=11)
+        with pytest.raises(FetchError):
+            transport.fetch("no-such-page.html")

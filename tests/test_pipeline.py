@@ -6,7 +6,12 @@ import pytest
 
 from repro.core.config import PipelineConfig
 from repro.core.evaluation import score_page
-from repro.core.exceptions import ConfigError
+from repro.core.exceptions import (
+    ConfigError,
+    EmptyProblemError,
+    InferenceError,
+    TemplateNotFoundError,
+)
 from repro.core.pipeline import SegmentationPipeline
 from repro.extraction.matching import MatchOptions
 from repro.sitegen.corpus import build_site
@@ -100,3 +105,82 @@ class TestDegeneratePages:
         for page_run in run.pages:
             assert page_run.segmentation.records == []
             assert page_run.segmentation.meta.get("empty_problem")
+
+
+class _RaisingSegmenter:
+    """A segmenter stub that always raises a given exception."""
+
+    def __init__(self, error: Exception) -> None:
+        self.error = error
+
+    def segment(self, table):
+        raise self.error
+
+
+class TestRecoverableExceptionPaths:
+    """The pipeline's paper-prescribed fallbacks for recoverable errors."""
+
+    def test_empty_problem_error_from_segmenter_recovers(self, monkeypatch):
+        # A segmenter may judge a non-empty table unsegmentable on
+        # stricter criteria than the pipeline's own pre-check; the
+        # EmptyProblemError it raises must degrade, not propagate.
+        site = build_site("butler")
+        pipeline = SegmentationPipeline("csp")
+        monkeypatch.setattr(
+            pipeline,
+            "_make_segmenter",
+            lambda: _RaisingSegmenter(EmptyProblemError("nothing usable")),
+        )
+        run = pipeline.segment_generated_site(site)
+        for page_run in run.pages:
+            assert page_run.segmentation.records == []
+            assert page_run.segmentation.meta.get("empty_problem")
+
+    def test_inference_error_reported_as_unsegmented_page(self, monkeypatch):
+        site = build_site("butler")
+        pipeline = SegmentationPipeline("prob")
+        monkeypatch.setattr(
+            pipeline,
+            "_make_segmenter",
+            lambda: _RaisingSegmenter(InferenceError("zero forward mass")),
+        )
+        run = pipeline.segment_generated_site(site)
+        for page_run, truth in zip(run.pages, site.truth):
+            assert page_run.segmentation.records == []
+            assert "zero forward mass" in page_run.segmentation.meta["segmenter_error"]
+            score = score_page(page_run.segmentation, truth)
+            assert score.fn == len(truth.rows)  # unsegmented, not wrong
+
+    def test_template_not_found_error_takes_whole_page_fallback(self, monkeypatch):
+        # A finder that gives up by raising (rather than returning a
+        # failed verdict) must land on the same Section 6.2 fallback:
+        # "we have taken the entire text of the list page for analysis".
+        site = build_site("butler")
+        pipeline = SegmentationPipeline("prob")
+
+        def raise_not_found(pages):
+            raise TemplateNotFoundError("corrupted sample pages")
+
+        monkeypatch.setattr(pipeline._finder, "find", raise_not_found)
+        run = pipeline.segment_generated_site(site)
+        assert run.whole_page_fallback
+        assert "corrupted sample pages" in run.template_verdict.reason
+        for page_run, truth in zip(run.pages, site.truth):
+            assert page_run.segmentation.meta["whole_page"]
+            score = score_page(page_run.segmentation, truth)
+            assert score.cor >= len(truth.rows) - 2
+
+    def test_whole_page_fallback_under_corrupted_input(self):
+        # Organically corrupted input (no shared template at all):
+        # every page is noise, template induction fails, and the
+        # pipeline still returns a run instead of raising.
+        lists = [
+            Page("l0", "<html><body><p>xqj zvk wpl</p></body></html>"),
+            Page("l1", "<div><span>totally different soup"),
+        ]
+        details = [[Page("d0", "<html>noise</html>")], [Page("d1", "<p>junk")]]
+        run = SegmentationPipeline("csp").segment_site(lists, details)
+        assert run.whole_page_fallback
+        assert len(run.pages) == 2
+        for page_run in run.pages:
+            assert page_run.segmentation.meta["whole_page"]
