@@ -5,6 +5,12 @@ figures (see DESIGN.md's per-experiment index).  Rendered tables are
 printed to stdout — run with ``pytest benchmarks/ --benchmark-only -s``
 to see them — and the headline numbers are attached to each
 benchmark's ``extra_info`` so they land in the benchmark report too.
+
+The session also installs a metrics-only
+:class:`~repro.obs.Observability` bundle, so every pipeline run any
+bench performs is profiled per stage; the breakdown (total seconds
+per span name, solver counters) is printed when the session ends —
+the baseline profile future performance PRs measure against.
 """
 
 from __future__ import annotations
@@ -15,9 +21,27 @@ from repro.core.config import PipelineConfig
 from repro.core.pipeline import SegmentationPipeline
 from repro.extraction.extracts import extract_strings
 from repro.extraction.observations import ObservationTable
+from repro.obs import Observability, install, render_breakdown
 from repro.sitegen.corpus import build_corpus
 from repro.template.finder import TemplateFinder
 from repro.template.table_slot import resolve_table_regions
+
+
+@pytest.fixture(scope="session", autouse=True)
+def stage_profile():
+    """Profile every pipeline stage across the whole bench session.
+
+    ``keep_spans=False``: only the ``span.*.seconds`` histograms and
+    the solver counters are retained, so a long session does not
+    accumulate a span tree.
+    """
+    obs = Observability(keep_spans=False)
+    previous = install(obs)
+    yield obs
+    install(previous)
+    print()
+    print("== per-stage cost profile (all benches, this session) ==")
+    print(render_breakdown(obs.metrics))
 
 
 @pytest.fixture(scope="session")

@@ -35,6 +35,7 @@ from repro.core.hybrid import HybridConfig, HybridSegmenter
 from repro.csp.segmenter import CspConfig, CspSegmenter
 from repro.extraction.extracts import Extract, extract_strings
 from repro.extraction.observations import Observation, ObservationTable
+from repro.obs import ManualClock, MetricsRegistry, Observability, Tracer
 from repro.prob.model import ProbConfig
 from repro.prob.segmenter import ProbabilisticSegmenter
 from repro.reporting.experiment import run_corpus, run_site
@@ -52,6 +53,9 @@ __all__ = [
     "HybridConfig",
     "HybridSegmenter",
     "METHODS",
+    "ManualClock",
+    "MetricsRegistry",
+    "Observability",
     "Observation",
     "ObservationTable",
     "Page",
@@ -67,6 +71,7 @@ __all__ = [
     "SiteRun",
     "TemplateFinder",
     "TemplateFinderConfig",
+    "Tracer",
     "__version__",
     "build_corpus",
     "build_site",

@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sites                     # list the corpus sites
     python -m repro segment superpages        # segment one site
     python -m repro segment ohio --method csp --page 1
+    python -m repro segment lee --trace --metrics-out m.json
     python -m repro table4                    # the full experiment
     python -m repro table4 --methods prob     # one method only
     python -m repro show superpages --page 0  # dump a generated page
@@ -45,6 +46,43 @@ def _request_budget(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"{value} is not a positive count")
     return value
+
+
+def _add_obs_flags(command: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the segmenting commands."""
+    command.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the pipeline's span tree (per-stage durations + counts)",
+    )
+    command.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics registry (counters + histograms) as JSON",
+    )
+
+
+def _make_obs(args):
+    """An Observability bundle when any obs flag is set, else None."""
+    if not (args.trace or args.metrics_out):
+        return None
+    from repro.obs import Observability
+
+    return Observability()
+
+
+def _emit_obs(args, obs, out) -> None:
+    """Print the trace / write the metrics dump as requested."""
+    if obs is None:
+        return
+    if args.trace:
+        print("-- trace " + "-" * 51, file=out)
+        print(obs.tracer.render(), file=out)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(obs.metrics.to_json() + "\n")
+        print(f"metrics written to {args.metrics_out}", file=out)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-site request budget for the chaos crawl",
     )
+    _add_obs_flags(segment)
 
     table4 = commands.add_parser(
         "table4", help="run the paper's main experiment"
@@ -115,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     segment_dir.add_argument(
         "--method", choices=METHODS, default="prob", help="segmenter to run"
     )
+    _add_obs_flags(segment_dir)
 
     show = commands.add_parser("show", help="print a generated page's HTML")
     show.add_argument("site", choices=sorted(SITE_BUILDERS))
@@ -141,7 +181,8 @@ def _cmd_sites(out) -> int:
 
 def _cmd_segment(args, out) -> int:
     site = build_site(args.site)
-    pipeline = SegmentationPipeline(args.method)
+    obs = _make_obs(args)
+    pipeline = SegmentationPipeline(args.method, obs=obs)
     if args.fault_rate > 0.0 or args.max_requests is not None:
         from repro.crawl.resilient import CrawlBudget
         from repro.sitegen.faults import FaultPlan
@@ -182,6 +223,7 @@ def _cmd_segment(args, out) -> int:
             continue
         if url not in covered:  # quarantined or budget-starved page
             status = 1
+    _emit_obs(args, obs, out)
     return status
 
 
@@ -209,7 +251,8 @@ def _cmd_segment_dir(args, out) -> int:
     from repro.webdoc.store import load_sample
 
     sample = load_sample(args.directory)
-    pipeline = SegmentationPipeline(args.method)
+    obs = _make_obs(args)
+    pipeline = SegmentationPipeline(args.method, obs=obs)
     run = pipeline.segment_site(
         sample.list_pages, sample.detail_pages_per_list
     )
@@ -229,6 +272,7 @@ def _cmd_segment_dir(args, out) -> int:
                 + " | ".join(o.extract.text for o in segmentation.unassigned),
                 file=out,
             )
+    _emit_obs(args, obs, out)
     return 0
 
 

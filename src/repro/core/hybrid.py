@@ -28,6 +28,7 @@ from repro.core.results import Segmentation
 from repro.csp.relaxation import RelaxationLevel
 from repro.csp.segmenter import CspConfig, CspSegmenter
 from repro.extraction.observations import ObservationTable
+from repro.obs import Observability
 from repro.prob.model import ProbConfig
 from repro.prob.segmenter import ProbabilisticSegmenter
 
@@ -52,8 +53,13 @@ class HybridSegmenter:
 
     method_name = "hybrid"
 
-    def __init__(self, config: HybridConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: HybridConfig | None = None,
+        obs: Observability | None = None,
+    ) -> None:
         self.config = config or HybridConfig()
+        self.obs = obs
 
     def segment(self, table: ObservationTable) -> Segmentation:
         """Segment one list page's observation table.
@@ -64,7 +70,7 @@ class HybridSegmenter:
         if not table.observations:
             raise EmptyProblemError("no observations to segment")
 
-        csp_result = CspSegmenter(self.config.csp).segment(table)
+        csp_result = CspSegmenter(self.config.csp, obs=self.obs).segment(table)
         if (
             csp_result.meta.get("solution_found")
             and csp_result.meta.get("level") is RelaxationLevel.STRICT

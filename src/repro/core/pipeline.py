@@ -25,12 +25,22 @@ template induction, and a :class:`~repro.crawl.resilient.CrawlHealth`
 report handed in by the crawl layer is carried on the
 :class:`SiteRun` and summarized into every ``Segmentation.meta`` — so
 evaluation can condition accuracy on crawl completeness.
+
+The pipeline is fully instrumented: handed an
+:class:`~repro.obs.Observability` bundle it emits a
+``pipeline.segment_site`` span tree (template induction, then per
+list page the extract / observation / segment stages, each with
+counts in its attributes) and books stage totals into the metrics
+registry — the per-stage cost profile ``docs/observability.md``
+documents.  Without one it falls back to the installed default
+(:func:`repro.obs.current`), which is a no-op unless the CLI's
+``--trace``/``--metrics-out`` flags or the benchmark session profile
+installed a live bundle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 
 from repro.core.config import METHODS, PipelineConfig
 from repro.core.exceptions import (
@@ -46,6 +56,7 @@ from repro.crawl.resilient import CrawlBudget, CrawlHealth, RetryPolicy
 from repro.csp.segmenter import CspSegmenter
 from repro.extraction.extracts import extract_strings
 from repro.extraction.observations import ObservationTable
+from repro.obs import Observability, current as current_obs
 from repro.prob.segmenter import ProbabilisticSegmenter
 from repro.sitegen.faults import FaultPlan
 from repro.sitegen.site import GeneratedSite
@@ -112,22 +123,27 @@ class SegmentationPipeline:
     """Site in, records out."""
 
     def __init__(
-        self, method: str = "csp", config: PipelineConfig | None = None
+        self,
+        method: str = "csp",
+        config: PipelineConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if method not in METHODS:
             raise ConfigError(f"unknown method {method!r}; pick from {METHODS}")
         self.method = method
         self.config = config or PipelineConfig()
+        self.obs = obs if obs is not None else current_obs()
         self._finder = TemplateFinder(self.config.template)
 
     def _make_segmenter(self):
         if self.method == "csp":
-            return CspSegmenter(self.config.csp)
+            return CspSegmenter(self.config.csp, obs=self.obs)
         if self.method == "hybrid":
             from repro.core.hybrid import HybridConfig, HybridSegmenter
 
             return HybridSegmenter(
-                HybridConfig(csp=self.config.csp, prob=self.config.prob)
+                HybridConfig(csp=self.config.csp, prob=self.config.prob),
+                obs=self.obs,
             )
         return ProbabilisticSegmenter(self.config.prob)
 
@@ -191,48 +207,96 @@ class SegmentationPipeline:
                 ),
                 crawl_health=crawl_health,
             )
-        verdict = self._find_template(list_pages, crawl_health)
-        regions = resolve_table_regions(list_pages, verdict)
-        run = SiteRun(
+        obs = self.obs
+        obs.counter("pipeline.sites").inc()
+        with obs.span(
+            "pipeline.segment_site",
             method=self.method,
-            template_verdict=verdict,
-            crawl_health=crawl_health,
-        )
+            list_pages=len(list_pages),
+        ) as site_span:
+            with obs.span(
+                "pipeline.template", pages=len(list_pages)
+            ) as template_span:
+                verdict = self._find_template(list_pages, crawl_health)
+                template_span.attributes["ok"] = verdict.ok
+                if not verdict.ok:
+                    template_span.attributes["reason"] = verdict.reason
+                regions = resolve_table_regions(list_pages, verdict)
+            run = SiteRun(
+                method=self.method,
+                template_verdict=verdict,
+                crawl_health=crawl_health,
+            )
 
-        for index, region in enumerate(regions):
-            started = perf_counter()
-            extracts = extract_strings(region, self.config.allowed_punct)
-            other_lists = [
-                page for position, page in enumerate(list_pages) if position != index
-            ]
-            table = ObservationTable.build(
-                extracts,
-                detail_pages_per_list[index],
-                other_list_pages=other_lists,
-                options=self.config.match,
-            )
-            segmentation = self._segment_table(table)
-            segmentation.meta.setdefault("template_ok", verdict.ok)
-            segmentation.meta.setdefault("whole_page", region.whole_page)
-            if crawl_health is not None:
-                segmentation.meta.setdefault(
-                    "crawl",
-                    {
-                        "gap_count": crawl_health.gap_count,
-                        "retries": crawl_health.retries,
-                        "recovered": crawl_health.recovered,
-                        "quarantined": len(crawl_health.quarantined_pages),
-                        "budget_exhausted": crawl_health.budget_exhausted,
-                    },
-                )
-            run.pages.append(
-                PageRun(
-                    page=region.page,
-                    table=table,
-                    segmentation=segmentation,
-                    elapsed=perf_counter() - started,
-                )
-            )
+            for index, region in enumerate(regions):
+                with obs.span(
+                    "pipeline.page", index=index, url=region.page.url
+                ) as page_span:
+                    started = obs.clock.now()
+                    with obs.span("pipeline.extracts") as extract_span:
+                        extracts = extract_strings(
+                            region, self.config.allowed_punct
+                        )
+                        extract_span.attributes["count"] = len(extracts)
+                    obs.counter("pipeline.extracts").inc(len(extracts))
+                    other_lists = [
+                        page
+                        for position, page in enumerate(list_pages)
+                        if position != index
+                    ]
+                    with obs.span(
+                        "pipeline.observations",
+                        detail_pages=len(detail_pages_per_list[index]),
+                    ) as observe_span:
+                        table = ObservationTable.build(
+                            extracts,
+                            detail_pages_per_list[index],
+                            other_list_pages=other_lists,
+                            options=self.config.match,
+                        )
+                        observe_span.attributes["observations"] = len(
+                            table.observations
+                        )
+                    obs.counter("pipeline.observations").inc(
+                        len(table.observations)
+                    )
+                    with obs.span(
+                        "pipeline.segment", method=self.method
+                    ) as segment_span:
+                        segmentation = self._segment_table(table)
+                        segment_span.attributes["records"] = len(
+                            segmentation.records
+                        )
+                    obs.counter("pipeline.records").inc(
+                        len(segmentation.records)
+                    )
+                    segmentation.meta.setdefault("template_ok", verdict.ok)
+                    segmentation.meta.setdefault("whole_page", region.whole_page)
+                    if crawl_health is not None:
+                        segmentation.meta.setdefault(
+                            "crawl",
+                            {
+                                "gap_count": crawl_health.gap_count,
+                                "retries": crawl_health.retries,
+                                "recovered": crawl_health.recovered,
+                                "quarantined": len(
+                                    crawl_health.quarantined_pages
+                                ),
+                                "budget_exhausted": crawl_health.budget_exhausted,
+                            },
+                        )
+                    page_span.attributes["records"] = len(segmentation.records)
+                    run.pages.append(
+                        PageRun(
+                            page=region.page,
+                            table=table,
+                            segmentation=segmentation,
+                            elapsed=obs.clock.now() - started,
+                        )
+                    )
+            obs.counter("pipeline.pages").inc(len(run.pages))
+            site_span.attributes["pages"] = len(run.pages)
+            site_span.attributes["template_ok"] = verdict.ok
         return run
 
     def segment_generated_site(
@@ -258,7 +322,13 @@ class SegmentationPipeline:
             )
         from repro.crawl.crawler import crawl_site
 
-        crawl = crawl_site(site, fault_plan=fault_plan, retry=retry, budget=budget)
+        crawl = crawl_site(
+            site,
+            fault_plan=fault_plan,
+            retry=retry,
+            budget=budget,
+            obs=self.obs,
+        )
         return self.segment_site(
             crawl.list_pages,
             crawl.detail_pages_per_list,

@@ -33,6 +33,7 @@ from repro.crawl.resilient import (
     ResilientFetcher,
     RetryPolicy,
 )
+from repro.obs import Observability, current as current_obs
 from repro.sitegen.faults import FaultPlan, FaultyTransport
 from repro.sitegen.site import GeneratedSite
 from repro.webdoc.html import EventKind, lex_html
@@ -189,6 +190,7 @@ def crawl_site(
     fault_plan: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     budget: CrawlBudget | None = None,
+    obs: Observability | None = None,
 ) -> SiteCrawl:
     """Crawl a simulator site through the resilient retrieval stack.
 
@@ -199,18 +201,42 @@ def crawl_site(
     every unresolved URL recorded as a gap.  Degenerate list pages are
     quarantined (dropped from the sample, listed in
     ``health.quarantined_pages``) instead of aborting the site.
+
+    The crawl is traced as one ``crawl.site`` span (one
+    ``crawl.list_page`` child per list page), whose final attributes
+    mirror the headline numbers of the returned
+    :class:`~repro.crawl.resilient.CrawlHealth` report — the span tree
+    and the health report describe the same events at two zoom levels.
     """
+    obs = obs if obs is not None else current_obs()
     transport = site if fault_plan is None else FaultyTransport(site, fault_plan)
-    fetcher = ResilientFetcher(transport, retry=retry, budget=budget)
+    fetcher = ResilientFetcher(transport, retry=retry, budget=budget, obs=obs)
     crawler = Crawler(fetcher, classifier_config)
     crawl = SiteCrawl(health=fetcher.health)
 
-    for list_page in site.list_pages:
-        result = crawler.try_collect(list_page)
-        crawl.results.append(result)
-        if result.failed:
-            crawl.health.quarantined_pages.append(list_page.url)
-            continue
-        crawl.list_pages.append(list_page)
-        crawl.detail_pages_per_list.append(result.detail_pages)
+    with obs.span(
+        "crawl.site", list_pages=len(site.list_pages)
+    ) as site_span:
+        for list_page in site.list_pages:
+            with obs.span("crawl.list_page", url=list_page.url) as page_span:
+                result = crawler.try_collect(list_page)
+                page_span.attributes["detail_pages"] = len(result.detail_pages)
+                page_span.attributes["dead_links"] = len(result.dead_links)
+                crawl.results.append(result)
+                if result.failed:
+                    page_span.attributes["quarantined"] = True
+                    crawl.health.quarantined_pages.append(list_page.url)
+                    continue
+                crawl.list_pages.append(list_page)
+                crawl.detail_pages_per_list.append(result.detail_pages)
+        health = crawl.health
+        site_span.attributes.update(
+            requests=health.requests,
+            retries=health.retries,
+            recovered=health.recovered,
+            gaps=health.gap_count,
+            quarantined=len(health.quarantined_pages),
+            breaker_trips=health.breaker_trips,
+            budget_exhausted=health.budget_exhausted,
+        )
     return crawl

@@ -25,6 +25,12 @@ Nothing here raises on failure: a URL that cannot be obtained within
 policy becomes ``None`` plus a health entry, and the pipeline carries
 on with what it got — the degradation ladder described in
 ``docs/robustness.md``.
+
+When an :class:`~repro.obs.Observability` bundle is active, every
+request / retry / recovery / gap is also mirrored into ``crawl.*``
+counters, and :func:`~repro.crawl.crawler.crawl_site` links the whole
+crawl to a ``crawl.site`` span whose attributes summarize the final
+:class:`CrawlHealth` — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from typing import Any
 
 from repro.core.exceptions import ConfigError, FetchError, TransientFetchError
 from repro.crawl.fetcher import SiteFetcher
+from repro.obs import Observability, current as current_obs
 from repro.sitegen.faults import stable_unit
 from repro.webdoc.page import Page
 
@@ -283,6 +290,10 @@ class ResilientFetcher:
         budget: per-site spending limits.
         breaker: circuit breaker (one is created if omitted).
         health: health report to book into (created if omitted).
+        obs: observability bundle; every request, retry, recovery and
+            gap is mirrored into ``crawl.*`` counters alongside the
+            :class:`CrawlHealth` bookkeeping (defaults to the
+            installed bundle, a no-op unless one is active).
     """
 
     def __init__(
@@ -292,12 +303,14 @@ class ResilientFetcher:
         budget: CrawlBudget | None = None,
         breaker: CircuitBreaker | None = None,
         health: CrawlHealth | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.fetcher = SiteFetcher(site)
         self.retry = retry or RetryPolicy()
         self.budget = budget or CrawlBudget()
         self.breaker = breaker or CircuitBreaker()
         self.health = health or CrawlHealth()
+        self.obs = obs if obs is not None else current_obs()
         self.clock = 0.0  #: simulated seconds elapsed
 
     # -- internals -----------------------------------------------------------
@@ -333,26 +346,32 @@ class ResilientFetcher:
             return None
 
         cls = url_class(url)
+        gaps = self.obs.counter("crawl.gaps")
         had_transient = False
         for attempt in range(1, self.retry.max_attempts + 1):
             if not self._budget_allows():
                 self.health.budget_exhausted = True
                 self.health.record_gap(url, GAP_BUDGET)
+                gaps.inc()
                 return None
             if not self.breaker.allows(cls, self.clock):
                 self.health.record_gap(url, GAP_CIRCUIT_OPEN)
+                gaps.inc()
                 return None
             if attempt > 1:
                 self._spend(self.retry.delay_before(url, attempt))
                 self.health.retries += 1
+                self.obs.counter("crawl.retries").inc()
 
             self.health.requests += 1
+            self.obs.counter("crawl.requests").inc()
             self._spend(self.budget.request_cost_s + self._latency_of(url))
             try:
                 page = self.fetcher.fetch(url)
             except TransientFetchError:
                 had_transient = True
                 self.health.transient_failures += 1
+                self.obs.counter("crawl.transient_failures").inc()
                 self.breaker.record_failure(cls, self.clock)
                 self.health.breaker_trips = self.breaker.trips
                 continue
@@ -360,13 +379,16 @@ class ResilientFetcher:
                 self.breaker.record_failure(cls, self.clock)
                 self.health.breaker_trips = self.breaker.trips
                 self.health.record_gap(url, GAP_PERMANENT)
+                gaps.inc()
                 return None
             self.breaker.record_success(cls)
             if had_transient:
                 self.health.recovered += 1
+                self.obs.counter("crawl.recovered").inc()
             return page
 
         self.health.record_gap(url, GAP_RETRIES_EXHAUSTED)
+        gaps.inc()
         return None
 
     def fetch(self, url: str) -> Page:

@@ -20,11 +20,11 @@ node budget.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.core.exceptions import SolverBudgetExceededError
 from repro.csp.constraints import ConstraintSystem, Relation
+from repro.obs.clock import Clock, SystemClock
 
 __all__ = ["ExactConfig", "ExactResult", "ExactSolver"]
 
@@ -51,13 +51,16 @@ class ExactResult:
         satisfiable: whether a solution exists.
         assignment: one satisfying assignment if satisfiable.
         nodes: search nodes explored.
-        elapsed: wall-clock seconds.
+        backtracks: decisions undone after both values failed — the
+            "wasted work" measure the observability layer tracks.
+        elapsed: clock seconds (wall time under the default clock).
     """
 
     satisfiable: bool
     assignment: list[int] | None
     nodes: int
     elapsed: float
+    backtracks: int = 0
 
 
 class _Trail:
@@ -83,10 +86,14 @@ class ExactSolver:
     """Systematic DFS + propagation over a :class:`ConstraintSystem`."""
 
     def __init__(
-        self, system: ConstraintSystem, config: ExactConfig | None = None
+        self,
+        system: ConstraintSystem,
+        config: ExactConfig | None = None,
+        clock: Clock | None = None,
     ) -> None:
         self.system = system
         self.config = config or ExactConfig()
+        self.clock = clock or SystemClock()
         # Satisfiability is defined by the hard constraints only; soft
         # constraints are an optimization target for the local search.
         self._constraints = system.hard_constraints
@@ -110,6 +117,7 @@ class ExactSolver:
             self._lhs_min[constraint_id] = low
             self._lhs_max[constraint_id] = high
         self._nodes = 0
+        self._backtracks = 0
 
     # -- public API ------------------------------------------------------
 
@@ -120,8 +128,9 @@ class ExactSolver:
             SolverBudgetExceededError: the node budget ran out before
                 the search finished.
         """
-        start_time = time.perf_counter()
+        start_time = self.clock.now()
         self._nodes = 0
+        self._backtracks = 0
         trail = _Trail()
 
         # Root propagation: conflicts here mean trivially unsat.
@@ -130,14 +139,15 @@ class ExactSolver:
                 satisfiable=False,
                 assignment=None,
                 nodes=self._nodes,
-                elapsed=time.perf_counter() - start_time,
+                elapsed=self.clock.now() - start_time,
             )
         found = self._dfs(trail)
         result = ExactResult(
             satisfiable=found,
             assignment=list(self._assignment) if found else None,
             nodes=self._nodes,
-            elapsed=time.perf_counter() - start_time,
+            elapsed=self.clock.now() - start_time,
+            backtracks=self._backtracks,
         )
         trail.undo_to(0, self)
         return result
@@ -296,6 +306,7 @@ class ExactSolver:
                 if self._dfs(trail):
                     return True
             trail.undo_to(mark, self)
+        self._backtracks += 1
         return False
 
     def _pick_branch_var(self) -> int | None:

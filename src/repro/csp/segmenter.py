@@ -16,6 +16,14 @@ Orchestrates encoding, solving and relaxation:
 The result's ``meta`` records which rung won, whether a solution was
 found at all, and per-rung solver diagnostics — the inputs for Table
 4's *c* ("No solution found") and *d* ("Relax constraints") notes.
+
+When handed an :class:`~repro.obs.Observability` bundle the segmenter
+additionally emits a ``csp.segment`` span with one ``csp.level`` child
+per rung attempted, and books solver effort into the registry
+(``csp.wsat.flips``, ``csp.wsat.restarts``,
+``csp.wsat.unsat_constraints``, ``csp.exact.nodes``,
+``csp.exact.backtracks``, ``csp.relaxations`` — see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from repro.csp.exact import ExactConfig, ExactSolver
 from repro.csp.relaxation import RelaxationLevel, encode_at_level
 from repro.csp.wsat import WsatConfig, WsatSolver
 from repro.extraction.observations import ObservationTable
+from repro.obs import Observability, current as current_obs
 
 __all__ = ["CspConfig", "CspSegmenter"]
 
@@ -66,8 +75,13 @@ class CspSegmenter:
 
     method_name = "csp"
 
-    def __init__(self, config: CspConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: CspConfig | None = None,
+        obs: Observability | None = None,
+    ) -> None:
         self.config = config or CspConfig()
+        self.obs = obs if obs is not None else current_obs()
 
     def segment(self, table: ObservationTable) -> Segmentation:
         """Segment one list page's observation table.
@@ -78,8 +92,23 @@ class CspSegmenter:
         if not table.observations:
             raise EmptyProblemError("no observations to segment")
 
+        with self.obs.span(
+            "csp.segment", observations=len(table.observations)
+        ) as span:
+            segmentation = self._segment_traced(table)
+            meta = segmentation.meta
+            span.attributes["level"] = getattr(
+                meta.get("level"), "name", str(meta.get("level"))
+            )
+            span.attributes["solution_found"] = meta.get("solution_found")
+            span.attributes["records"] = len(segmentation.records)
+        return segmentation
+
+    def _segment_traced(self, table: ObservationTable) -> Segmentation:
         attempts: list[dict[str, object]] = []
         for level in RelaxationLevel:
+            if level.is_relaxed:
+                self.obs.counter("csp.relaxations").inc()
             problem = encode_at_level(
                 table, level, self.config.encoder,
                 soft_assign=self.config.soft_assign,
@@ -110,9 +139,10 @@ class CspSegmenter:
             self.config.encoder,
             soft_assign=self.config.soft_assign,
         )
-        result = WsatSolver(problem.system, self.config.wsat).solve(
-            self._seed_assignment(problem)
-        )
+        result = WsatSolver(
+            problem.system, self.config.wsat, clock=self.obs.clock
+        ).solve(self._seed_assignment(problem))
+        self._record_wsat(result)
         assignment_map = problem.decode(result.assignment)
         return Segmentation.from_assignment(
             method=self.method_name,
@@ -139,34 +169,67 @@ class CspSegmenter:
             assignment[problem.var_of[(observation.seq, chosen)]] = 1
         return assignment
 
+    def _record_wsat(self, result) -> None:
+        """Book one local-search run into the metrics registry."""
+        self.obs.counter("csp.wsat.solves").inc()
+        self.obs.counter("csp.wsat.flips").inc(result.flips)
+        self.obs.counter("csp.wsat.restarts").inc(result.restarts)
+        self.obs.counter("csp.wsat.unsat_constraints").inc(
+            result.unsat_constraints
+        )
+
     def _solve_level(
         self, problem: SegmentationCsp, level: RelaxationLevel
     ) -> dict[str, object]:
         """Try one rung; return the assignment (or None) plus diagnostics."""
-        wsat_result = WsatSolver(problem.system, self.config.wsat).solve(
-            self._seed_assignment(problem)
-        )
-        diag: dict[str, object] = {
-            "level": level.name,
-            "wsat_satisfied": wsat_result.satisfied,
-            "wsat_violation": wsat_result.best_violation,
-            "wsat_flips": wsat_result.flips,
-            "vars": problem.system.num_vars,
-            "constraints": len(problem.system.constraints),
-        }
-        if wsat_result.satisfied:
-            return {"assignment": wsat_result.assignment, "diag": diag}
+        with self.obs.span(
+            "csp.level",
+            level=level.name,
+            vars=problem.system.num_vars,
+            constraints=len(problem.system.constraints),
+        ) as span:
+            wsat_result = WsatSolver(
+                problem.system, self.config.wsat, clock=self.obs.clock
+            ).solve(self._seed_assignment(problem))
+            self._record_wsat(wsat_result)
+            span.attributes["wsat_satisfied"] = wsat_result.satisfied
+            span.attributes["wsat_flips"] = wsat_result.flips
+            diag: dict[str, object] = {
+                "level": level.name,
+                "wsat_satisfied": wsat_result.satisfied,
+                "wsat_violation": wsat_result.best_violation,
+                "wsat_flips": wsat_result.flips,
+                "wsat_unsat_constraints": wsat_result.unsat_constraints,
+                "vars": problem.system.num_vars,
+                "constraints": len(problem.system.constraints),
+            }
+            if wsat_result.satisfied:
+                return {"assignment": wsat_result.assignment, "diag": diag}
 
-        if self.config.use_exact and problem.system.num_vars <= self.config.exact_var_limit:
-            try:
-                exact_result = ExactSolver(problem.system, self.config.exact).solve()
-            except SolverBudgetExceededError:
-                diag["exact"] = "budget_exceeded"
-                return {"assignment": None, "diag": diag}
-            diag["exact"] = (
-                "satisfiable" if exact_result.satisfiable else "unsatisfiable"
-            )
-            diag["exact_nodes"] = exact_result.nodes
-            if exact_result.satisfiable:
-                return {"assignment": exact_result.assignment, "diag": diag}
-        return {"assignment": None, "diag": diag}
+            if (
+                self.config.use_exact
+                and problem.system.num_vars <= self.config.exact_var_limit
+            ):
+                self.obs.counter("csp.exact.solves").inc()
+                try:
+                    exact_result = ExactSolver(
+                        problem.system, self.config.exact, clock=self.obs.clock
+                    ).solve()
+                except SolverBudgetExceededError:
+                    diag["exact"] = "budget_exceeded"
+                    span.attributes["exact"] = "budget_exceeded"
+                    self.obs.counter("csp.exact.budget_exceeded").inc()
+                    return {"assignment": None, "diag": diag}
+                self.obs.counter("csp.exact.nodes").inc(exact_result.nodes)
+                self.obs.counter("csp.exact.backtracks").inc(
+                    exact_result.backtracks
+                )
+                diag["exact"] = (
+                    "satisfiable" if exact_result.satisfiable else "unsatisfiable"
+                )
+                diag["exact_nodes"] = exact_result.nodes
+                diag["exact_backtracks"] = exact_result.backtracks
+                span.attributes["exact"] = diag["exact"]
+                if exact_result.satisfiable:
+                    return {"assignment": exact_result.assignment, "diag": diag}
+            return {"assignment": None, "diag": diag}

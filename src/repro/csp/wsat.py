@@ -29,10 +29,10 @@ The solver is deterministic given its ``seed``.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 
 from repro.csp.constraints import ConstraintSystem, Relation
+from repro.obs.clock import Clock, SystemClock
 
 __all__ = ["WsatConfig", "WsatResult", "WsatSolver"]
 
@@ -71,7 +71,10 @@ class WsatResult:
             assignment.
         flips: total flips spent across restarts.
         restarts: restarts actually performed.
-        elapsed: wall-clock seconds.
+        unsat_constraints: hard constraints the best assignment still
+            violates (0 when ``satisfied``) — the dirty-data signal
+            the observability layer surfaces per relaxation rung.
+        elapsed: clock seconds (wall time under the default clock).
     """
 
     assignment: list[int]
@@ -81,16 +84,28 @@ class WsatResult:
     flips: int
     restarts: int
     elapsed: float
+    unsat_constraints: int = 0
 
 
 class WsatSolver:
-    """Solve one :class:`ConstraintSystem` by WSAT(OIP)-style search."""
+    """Solve one :class:`ConstraintSystem` by WSAT(OIP)-style search.
+
+    Args:
+        system: the pseudo-boolean system to solve.
+        config: search parameters.
+        clock: time source for ``WsatResult.elapsed`` (injectable so
+            traces built on top stay deterministic under test).
+    """
 
     def __init__(
-        self, system: ConstraintSystem, config: WsatConfig | None = None
+        self,
+        system: ConstraintSystem,
+        config: WsatConfig | None = None,
+        clock: Clock | None = None,
     ) -> None:
         self.system = system
         self.config = config or WsatConfig()
+        self.clock = clock or SystemClock()
         # Compiled representation.
         self._terms: list[tuple[tuple[int, int], ...]] = [
             constraint.terms for constraint in system.constraints
@@ -117,7 +132,7 @@ class WsatSolver:
         violation, then by soft violation — a hard-feasible assignment
         with worse soft score always beats a hard-infeasible one.
         """
-        start_time = time.perf_counter()
+        start_time = self.clock.now()
         rng = random.Random(self.config.seed)
 
         best_assignment: list[int] = (
@@ -148,10 +163,22 @@ class WsatSolver:
             best_soft_violation=best_key[1],
             flips=total_flips,
             restarts=restarts_done,
-            elapsed=time.perf_counter() - start_time,
+            elapsed=self.clock.now() - start_time,
+            unsat_constraints=self._unsat_count(best_assignment),
         )
 
     # -- internals -------------------------------------------------------
+
+    def _unsat_count(self, assignment: list[int]) -> int:
+        """Hard constraints violated by ``assignment``."""
+        count = 0
+        for constraint_id, terms in enumerate(self._terms):
+            if not self._hard[constraint_id]:
+                continue
+            lhs = sum(coef * assignment[var] for coef, var in terms)
+            if self._violation_of(constraint_id, lhs) > 0:
+                count += 1
+        return count
 
     def _random_assignment(self, rng: random.Random) -> list[int]:
         return [rng.randint(0, 1) for _ in range(self.system.num_vars)]

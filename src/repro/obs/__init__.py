@@ -1,0 +1,153 @@
+"""Observability: tracing spans, metrics, and an injectable clock.
+
+A zero-dependency instrumentation layer threaded through the whole
+pipeline (tokenize -> template -> extracts -> observations -> segment
+-> relational build), the resilient crawl layer, and the CSP solvers.
+It answers the question ``bench_timing.py``'s end-to-end wall clock
+cannot: *which stage should the next performance PR attack?*
+
+Three pieces, bundled by :class:`Observability`:
+
+* :class:`~repro.obs.trace.Tracer` — nested, timed spans with
+  structured attributes (`docs/observability.md` catalogues the span
+  names);
+* :class:`~repro.obs.metrics.MetricsRegistry` — thread-safe
+  :class:`~repro.obs.metrics.Counter`/
+  :class:`~repro.obs.metrics.Histogram` store with JSON export
+  (WalkSAT flips, exact-solver backtracks, crawl retries, ...);
+* :class:`~repro.obs.clock.Clock` — the injectable time source every
+  duration is read from, so tests swap in a
+  :class:`~repro.obs.clock.ManualClock` and traces become
+  byte-identical across runs.
+
+Instrumented components take an ``obs`` argument defaulting to the
+*installed* bundle (:func:`current`), which is the no-op
+:data:`NULL_OBS` unless something — the CLI's ``--trace`` /
+``--metrics-out`` flags, the benchmark suite's session profile, a test
+— :func:`install`\\ s a live one.  The disabled path allocates no span
+tree and registers no metrics, so pristine runs pay near-zero
+overhead.
+
+Usage::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    pipeline = SegmentationPipeline("csp", obs=obs)
+    run = pipeline.segment_generated_site(site)
+    print(obs.tracer.render())          # the span tree
+    print(obs.metrics.to_json())        # counters + histograms
+"""
+
+from __future__ import annotations
+
+from typing import Any, ContextManager
+
+from repro.obs.clock import Clock, ManualClock, SystemClock
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    render_breakdown,
+)
+from repro.obs.trace import NullTracer, Span, Tracer
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "SystemClock",
+    "Tracer",
+    "NULL_OBS",
+    "current",
+    "install",
+    "render_breakdown",
+]
+
+
+class Observability:
+    """One tracer + one metrics registry + the clock they share.
+
+    Args:
+        clock: time source for the tracer and for components that
+            measure durations directly (default
+            :class:`SystemClock`; pass a :class:`ManualClock` for
+            deterministic traces).
+        keep_spans: retain the span tree (disable for long metric-only
+            sessions such as the benchmark suite).
+        tracer: pre-built tracer override (``clock``/``keep_spans``
+            are then ignored for the tracer).
+        metrics: pre-built registry override.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        keep_spans: bool = True,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.clock = clock or SystemClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(self.clock, registry=self.metrics, keep_spans=keep_spans)
+        )
+
+    # Delegation conveniences so instrumented code reads as
+    # ``obs.span(...)`` / ``obs.counter(...)``.
+
+    def span(self, name: str, **attributes: Any) -> ContextManager[Span]:
+        """Open a span on the bundle's tracer."""
+        return self.tracer.span(name, **attributes)
+
+    def counter(self, name: str) -> Counter:
+        """The registry counter called ``name``."""
+        return self.metrics.counter(name)
+
+    def histogram(self, name: str) -> Histogram:
+        """The registry histogram called ``name``."""
+        return self.metrics.histogram(name)
+
+
+class _NullObservability(Observability):
+    """The disabled bundle: real interface, nothing recorded."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(tracer=NullTracer(), metrics=NullRegistry())
+
+
+#: The no-op bundle instrumented components fall back to.
+NULL_OBS: Observability = _NullObservability()
+
+_installed: Observability = NULL_OBS
+
+
+def current() -> Observability:
+    """The installed default bundle (:data:`NULL_OBS` unless set)."""
+    return _installed
+
+
+def install(obs: Observability | None) -> Observability:
+    """Set the default bundle; returns the previous one.
+
+    ``None`` restores :data:`NULL_OBS`.  Callers should restore the
+    returned previous value when their scope ends (the benchmark
+    conftest does this in a fixture finalizer).
+    """
+    global _installed
+    previous = _installed
+    _installed = obs if obs is not None else NULL_OBS
+    return previous

@@ -1,0 +1,73 @@
+"""Injectable time sources for the observability layer.
+
+Every duration the tracer, the metrics layer, the pipeline
+(``PageRun.elapsed``) or the CSP solvers record is read from a *clock
+object* rather than from :func:`time.perf_counter` directly, so tests
+can substitute a :class:`ManualClock` and get byte-identical traces on
+every run — the same simulated-time discipline the resilient crawl
+layer (PR 1) applies to retry backoff.
+
+Two implementations:
+
+* :class:`SystemClock` — the production clock; monotonic wall time via
+  :func:`time.perf_counter`.
+* :class:`ManualClock` — a deterministic fake.  Time only moves when
+  the test says so: either explicitly (:meth:`ManualClock.advance`) or
+  by a fixed ``tick`` charged on every read, which makes span
+  durations a pure function of how many times the instrumented code
+  consulted the clock.
+
+Anything with a ``now() -> float`` method satisfies the
+:class:`Clock` protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "SystemClock", "ManualClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Structural interface: anything with ``now() -> float``."""
+
+    def now(self) -> float:
+        """Current time in (possibly simulated) seconds."""
+        ...
+
+
+class SystemClock:
+    """Monotonic wall-clock time (:func:`time.perf_counter`)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A clock that only moves when told to.
+
+    Args:
+        start: initial reading.
+        tick: seconds charged on *every* :meth:`now` call (after
+            returning the pre-tick value).  With ``tick=1.0`` a span's
+            duration equals the number of clock reads that happened
+            between its start and end — fully deterministic for a
+            deterministic code path.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self.tick = tick
+        self._now = float(start)
+
+    def now(self) -> float:
+        value = self._now
+        self._now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards ({seconds})")
+        self._now += seconds

@@ -1,0 +1,215 @@
+"""Lightweight in-memory metrics: counters, histograms, a registry.
+
+The pipeline and solvers book their work — extracts built, WalkSAT
+flips spent, exact-solver backtracks — into a shared
+:class:`MetricsRegistry`.  The registry is thread-safe (one lock
+guards creation and every update), zero-dependency, and exports to
+JSON with stable key order so two identical runs produce identical
+dumps.
+
+Naming convention (see ``docs/observability.md`` for the full
+catalogue): dotted lowercase paths, the first segment naming the
+subsystem (``pipeline.``, ``crawl.``, ``csp.``, ``relational.``), and
+a trailing unit suffix for non-count histograms (``.seconds``).  Span
+durations recorded by a :class:`~repro.obs.trace.Tracer` land in
+histograms named ``span.<span name>.seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "render_breakdown",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock | None = None) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock or threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative inc {amount}")
+        with self._lock:
+            self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Summary statistics over observed values (no bucket storage).
+
+    Tracks count / total / min / max, which is enough for the
+    per-stage cost breakdowns the benchmarks print; individual samples
+    are not retained, so a histogram's memory cost is constant.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock | None = None) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = lock or threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self, precision: int = 6) -> dict[str, Any]:
+        """JSON-ready statistics (rounded for stable dumps)."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": round(self.total, precision),
+            "mean": round(self.mean, precision),
+            "min": round(self.min, precision),
+            "max": round(self.max, precision),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Thread-safe name -> metric store with JSON export.
+
+    ``counter(name)`` / ``histogram(name)`` get-or-create; asking for
+    an existing name with the other kind is an error (one name, one
+    type).  All metrics created by a registry share its lock, so
+    updates are atomic under free threading too.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        with self._lock:
+            if name in self._histograms:
+                raise ValueError(f"{name!r} is already a histogram")
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = Counter(name, lock=self._lock)
+                self._counters[name] = counter
+            return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        with self._lock:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(name, lock=self._lock)
+                self._histograms[name] = histogram
+            return histogram
+
+    def counters(self) -> Iterator[Counter]:
+        with self._lock:
+            return iter(sorted(self._counters.values(), key=lambda c: c.name))
+
+    def histograms(self) -> Iterator[Histogram]:
+        with self._lock:
+            return iter(sorted(self._histograms.values(), key=lambda h: h.name))
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot with sorted, stable key order."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name].value
+                    for name in sorted(self._counters)
+                },
+                "histograms": {
+                    name: self._histograms[name].summary()
+                    for name in sorted(self._histograms)
+                },
+            }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`as_dict` snapshot as a JSON string."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that discards everything (the disabled default).
+
+    Metric objects handed out are real but unregistered, so
+    instrumented code runs unchanged while ``as_dict()`` stays empty.
+    """
+
+    def counter(self, name: str) -> Counter:
+        return Counter(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return Histogram(name)
+
+
+def render_breakdown(registry: MetricsRegistry) -> str:
+    """ASCII per-stage cost breakdown of a registry.
+
+    Span-duration histograms (``span.*.seconds``) come first, sorted
+    by total time descending — the "which stage to optimize next"
+    view — followed by every counter.  Used by the benchmark suite's
+    session report and handy from a REPL.
+    """
+    lines: list[str] = []
+    stages = [
+        histogram
+        for histogram in registry.histograms()
+        if histogram.name.startswith("span.") and histogram.count
+    ]
+    stages.sort(key=lambda h: h.total, reverse=True)
+    if stages:
+        width = max(len(h.name) for h in stages)
+        lines.append("per-stage cost breakdown (total seconds, descending):")
+        lines.append(
+            f"{'stage'.ljust(width)}  {'calls':>7} {'total_s':>10} "
+            f"{'mean_s':>10} {'max_s':>10}"
+        )
+        for histogram in stages:
+            lines.append(
+                f"{histogram.name.ljust(width)}  {histogram.count:>7} "
+                f"{histogram.total:>10.4f} {histogram.mean:>10.4f} "
+                f"{histogram.max:>10.4f}"
+            )
+    counters = [counter for counter in registry.counters() if counter.value]
+    if counters:
+        if lines:
+            lines.append("")
+        lines.append("counters:")
+        width = max(len(c.name) for c in counters)
+        for counter in counters:
+            lines.append(f"{counter.name.ljust(width)}  {counter.value}")
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,196 @@
+"""Nested, timed tracing spans with structured attributes.
+
+A :class:`Tracer` produces a tree of :class:`Span` objects, one per
+instrumented region, via the context manager :meth:`Tracer.span`::
+
+    with tracer.span("pipeline.page", index=0) as span:
+        ...
+        span.attributes["records"] = len(records)
+
+Span *names* are a small static vocabulary (``pipeline.segment_site``,
+``csp.level``, ... — catalogued in ``docs/observability.md``); anything
+per-run (URLs, counts, indices) goes in attributes.  Keeping names
+static lets the tracer fold every completed span's duration into a
+``span.<name>.seconds`` histogram of a linked
+:class:`~repro.obs.metrics.MetricsRegistry`, which is where the
+benchmark suite's per-stage cost breakdown comes from.
+
+All timestamps are read from an injectable
+:class:`~repro.obs.clock.Clock`; with a
+:class:`~repro.obs.clock.ManualClock` the rendered tree is
+byte-identical across runs.  :class:`NullTracer` is the disabled
+variant: same interface, no recording, no clock reads.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.clock import Clock, SystemClock
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "NullTracer"]
+
+
+@dataclass
+class Span:
+    """One timed region of work.
+
+    Attributes:
+        name: static span name (``subsystem.operation``).
+        start: clock reading at entry.
+        end: clock reading at exit; ``None`` while open.
+        attributes: structured facts about the work (counts, outcomes).
+        children: spans opened while this one was the innermost.
+    """
+
+    name: str
+    start: float
+    end: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self, precision: int = 6) -> dict[str, Any]:
+        """JSON-ready form (durations rounded for stable dumps)."""
+        return {
+            "name": self.name,
+            "duration_s": round(self.duration, precision),
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict(precision) for child in self.children],
+        }
+
+    def find(self, name: str) -> list["Span"]:
+        """Every descendant (self included) named ``name``, preorder."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+
+class Tracer:
+    """Builds the span tree; optionally feeds a metrics registry.
+
+    Args:
+        clock: time source (default: :class:`SystemClock`).
+        registry: when given, each completed span's duration is
+            observed into the histogram ``span.<name>.seconds``.
+        keep_spans: retain finished spans in :attr:`roots`.  Disable
+            for long benchmark sessions that only want the per-stage
+            histograms, not an ever-growing tree.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        registry: MetricsRegistry | None = None,
+        keep_spans: bool = True,
+    ) -> None:
+        self.clock = clock or SystemClock()
+        self.registry = registry
+        self.keep_spans = keep_spans
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child span of the innermost open span (or a root)."""
+        span = Span(name=name, start=self.clock.now(), attributes=attributes)
+        if self.keep_spans:
+            if self._stack:
+                self._stack[-1].children.append(span)
+            else:
+                self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = self.clock.now()
+            if self.registry is not None:
+                self.registry.histogram(f"span.{name}.seconds").observe(
+                    span.duration
+                )
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def find(self, name: str) -> list[Span]:
+        """Every recorded span named ``name``, preorder."""
+        found: list[Span] = []
+        for root in self.roots:
+            found.extend(root.find(name))
+        return found
+
+    def to_dict(self, precision: int = 6) -> list[dict[str, Any]]:
+        """All root spans, JSON-ready."""
+        return [root.to_dict(precision) for root in self.roots]
+
+    def render(self, precision: int = 6) -> str:
+        """The span tree as indented ASCII, durations + attributes.
+
+        Format per line::
+
+            ├─ csp.level  0.123456s  level=STRICT wsat_satisfied=True
+
+        Deterministic given a deterministic clock: attributes render
+        in insertion order, durations at fixed precision.
+        """
+        lines: list[str] = []
+        for root in self.roots:
+            self._render_span(root, "", "", lines, precision)
+        return "\n".join(lines)
+
+    def _render_span(
+        self,
+        span: Span,
+        prefix: str,
+        child_prefix: str,
+        lines: list[str],
+        precision: int,
+    ) -> None:
+        attrs = " ".join(
+            f"{key}={value}" for key, value in span.attributes.items()
+        )
+        line = f"{prefix}{span.name}  {span.duration:.{precision}f}s"
+        if attrs:
+            line += f"  {attrs}"
+        lines.append(line)
+        for index, child in enumerate(span.children):
+            last = index == len(span.children) - 1
+            connector = "└─ " if last else "├─ "
+            extension = "   " if last else "│  "
+            self._render_span(
+                child,
+                child_prefix + connector,
+                child_prefix + extension,
+                lines,
+                precision,
+            )
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (the disabled default).
+
+    ``span()`` still yields a :class:`Span` so instrumented code can
+    set attributes unconditionally, but nothing is timed or retained.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(clock=SystemClock(), registry=None, keep_spans=False)
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        yield Span(name=name, start=0.0, attributes=attributes)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.results import Segmentation
+from repro.obs import Observability, current as current_obs
 
 __all__ = ["RelationalTable", "build_table"]
 
@@ -84,6 +85,7 @@ class RelationalTable:
 def build_table(
     segmentation: Segmentation,
     columns: dict[int, int] | None = None,
+    obs: Observability | None = None,
 ) -> RelationalTable:
     """Build a :class:`RelationalTable` from a segmentation.
 
@@ -93,10 +95,24 @@ def build_table(
             CSP column assigner).  Defaults to the segmentation's own
             per-record column labels; records without any column
             information fall back to positional columns.
+        obs: observability bundle; the build is traced as one
+            ``relational.build_table`` span with the final shape in
+            its attributes (defaults to the installed bundle).
 
     Multiple extracts landing in the same (record, column) cell are
     joined with ``" / "`` — visible rather than silently dropped.
     """
+    obs = obs if obs is not None else current_obs()
+    with obs.span("relational.build_table") as span:
+        table = _build_table(segmentation, columns)
+        span.attributes["rows"], span.attributes["columns"] = table.shape
+    obs.counter("relational.rows").inc(len(table.rows))
+    return table
+
+
+def _build_table(
+    segmentation: Segmentation, columns: dict[int, int] | None
+) -> RelationalTable:
     table = RelationalTable()
     max_column = -1
 

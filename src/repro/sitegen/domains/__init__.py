@@ -1,0 +1,10 @@
+"""Domain vocabularies for the 12-site simulator.
+
+Each module supplies the fake-but-plausible data one 2003-era domain
+needs — person names and phone books (:mod:`~repro.sitegen.domains.whitepages`),
+book catalogues (:mod:`~repro.sitegen.domains.books`), inmate rosters
+(:mod:`~repro.sitegen.domains.corrections`), parcel records
+(:mod:`~repro.sitegen.domains.propertytax`) — plus the shared helpers
+in :mod:`~repro.sitegen.domains.common`.  Site specs in
+:mod:`repro.sitegen.corpus` pick a domain by name.
+"""

@@ -1,0 +1,356 @@
+"""Tests for the observability layer (`repro.obs`).
+
+Covers span nesting, deterministic timing via the fake clock, the
+metrics registry's JSON round-trip and thread safety, the global
+install/current mechanism, and — end to end — the span tree and
+solver counters a pipeline run over a small generated site produces,
+including byte-identical traces across two runs.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.pipeline import SegmentationPipeline
+from repro.crawl.crawler import crawl_site
+from repro.obs import (
+    NULL_OBS,
+    ManualClock,
+    MetricsRegistry,
+    Observability,
+    SystemClock,
+    Tracer,
+    current,
+    install,
+    render_breakdown,
+)
+from repro.sitegen.corpus import build_site
+
+
+@pytest.fixture
+def lee_site():
+    """The smallest clean corpus site (CSP solves it at STRICT)."""
+    return build_site("lee")
+
+
+class TestManualClock:
+    def test_explicit_advance(self):
+        clock = ManualClock()
+        assert clock.now() == 0.0
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_tick_charges_every_read(self):
+        clock = ManualClock(start=10.0, tick=1.0)
+        assert [clock.now(), clock.now(), clock.now()] == [10.0, 11.0, 12.0]
+
+    def test_cannot_move_backwards(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                pass
+        (outer,) = tracer.roots
+        assert [child.name for child in outer.children] == [
+            "inner_a",
+            "inner_b",
+        ]
+        assert not outer.children[0].children
+
+    def test_sibling_roots(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_durations_deterministic_under_fake_clock(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (outer,) = tracer.roots
+        (inner,) = outer.children
+        # Reads: outer-start=0, inner-start=1, inner-end=2, outer-end=3.
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.roots
+        assert span.end is not None
+        assert tracer.current is None
+
+    def test_attributes_render_in_order(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with tracer.span("stage", b=2) as span:
+            span.attributes["a"] = 1
+        assert tracer.render() == "stage  1.000000s  b=2 a=1"
+
+    def test_find_by_name(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert len(tracer.find("b")) == 2
+        assert tracer.find("missing") == []
+
+    def test_registry_histograms_span_durations(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=ManualClock(tick=1.0), registry=registry)
+        with tracer.span("stage"):
+            pass
+        histogram = registry.histogram("span.stage.seconds")
+        assert histogram.count == 1
+        assert histogram.total == 1.0
+
+    def test_keep_spans_false_times_without_retaining(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(
+            clock=ManualClock(tick=1.0), registry=registry, keep_spans=False
+        )
+        with tracer.span("stage"):
+            pass
+        assert tracer.roots == []
+        assert registry.histogram("span.stage.seconds").count == 1
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("hits").inc(-1)
+
+    def test_name_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+        registry.histogram("y")
+        with pytest.raises(ValueError):
+            registry.counter("y")
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for value in (1.0, 3.0):
+            histogram.observe(value)
+        assert histogram.summary() == {
+            "count": 2,
+            "total": 4.0,
+            "mean": 2.0,
+            "min": 1.0,
+            "max": 3.0,
+        }
+
+    def test_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(7)
+        registry.counter("a.count").inc(1)
+        registry.histogram("z.seconds").observe(0.25)
+        decoded = json.loads(registry.to_json())
+        assert decoded == registry.as_dict()
+        assert list(decoded["counters"]) == ["a.count", "b.count"]
+        assert decoded["histograms"]["z.seconds"]["count"] == 1
+
+    def test_thread_safety_exact_total(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+
+    def test_render_breakdown_orders_by_total(self):
+        registry = MetricsRegistry()
+        registry.histogram("span.fast.seconds").observe(0.1)
+        registry.histogram("span.slow.seconds").observe(5.0)
+        registry.counter("csp.wsat.flips").inc(3)
+        text = render_breakdown(registry)
+        assert text.index("span.slow") < text.index("span.fast")
+        assert "csp.wsat.flips" in text
+
+    def test_empty_breakdown(self):
+        assert render_breakdown(MetricsRegistry()) == "(no metrics recorded)"
+
+
+class TestInstall:
+    def test_default_is_null(self):
+        assert current() is NULL_OBS
+        assert not NULL_OBS.enabled
+
+    def test_install_and_restore(self):
+        obs = Observability()
+        previous = install(obs)
+        try:
+            assert current() is obs
+        finally:
+            install(previous)
+        assert current() is NULL_OBS
+
+    def test_null_obs_records_nothing(self):
+        with NULL_OBS.span("stage", n=1) as span:
+            span.attributes["extra"] = 2  # must not raise
+        NULL_OBS.counter("hits").inc(5)
+        assert NULL_OBS.tracer.roots == []
+        assert NULL_OBS.metrics.as_dict() == {"counters": {}, "histograms": {}}
+
+    def test_default_observability_uses_system_clock(self):
+        assert isinstance(Observability().clock, SystemClock)
+
+
+class TestPipelineTracing:
+    def expected_tree(self):
+        """The span-name skeleton for a 2-list-page clean CSP run."""
+        page = ["pipeline.extracts", "pipeline.observations", "pipeline.segment"]
+        return {
+            "pipeline.segment_site": ["pipeline.template", "pipeline.page",
+                                      "pipeline.page"],
+            "pipeline.page": page,
+            "pipeline.segment": ["csp.segment"],
+            "csp.segment": ["csp.level"],
+        }
+
+    def run(self, site, seed_obs=None):
+        obs = seed_obs or Observability(clock=ManualClock(tick=1.0))
+        SegmentationPipeline("csp", obs=obs).segment_generated_site(site)
+        return obs
+
+    def test_expected_span_tree(self, lee_site):
+        obs = self.run(lee_site)
+        (root,) = obs.tracer.roots
+        assert root.name == "pipeline.segment_site"
+        expected = self.expected_tree()
+        assert [c.name for c in root.children] == expected["pipeline.segment_site"]
+        for page_span in root.children[1:]:
+            assert [c.name for c in page_span.children] == expected["pipeline.page"]
+            segment_span = page_span.children[-1]
+            (csp_span,) = segment_span.children
+            assert csp_span.name == "csp.segment"
+            assert csp_span.attributes["level"] == "STRICT"
+            assert csp_span.attributes["solution_found"] is True
+
+    def test_counts_in_attributes(self, lee_site):
+        obs = self.run(lee_site)
+        (root,) = obs.tracer.roots
+        assert root.attributes["pages"] == 2
+        extracts = obs.tracer.find("pipeline.extracts")
+        assert all(span.attributes["count"] > 0 for span in extracts)
+        observations = obs.tracer.find("pipeline.observations")
+        assert all(span.attributes["observations"] > 0 for span in observations)
+
+    def test_solver_counters_recorded(self, lee_site):
+        obs = self.run(lee_site)
+        counters = obs.metrics.as_dict()["counters"]
+        assert counters["csp.wsat.solves"] == 2
+        assert counters["csp.wsat.restarts"] >= 2
+        assert counters["csp.wsat.unsat_constraints"] == 0
+        assert counters["pipeline.records"] == 21
+        assert counters["pipeline.sites"] == 1
+
+    def test_stage_histograms_recorded(self, lee_site):
+        obs = self.run(lee_site)
+        histograms = obs.metrics.as_dict()["histograms"]
+        assert histograms["span.pipeline.segment.seconds"]["count"] == 2
+        assert histograms["span.pipeline.segment_site.seconds"]["count"] == 1
+
+    def test_traces_byte_identical_across_runs(self, lee_site):
+        first = self.run(lee_site).tracer.render()
+        second = self.run(build_site("lee")).tracer.render()
+        assert first == second
+        assert "pipeline.segment_site" in first
+
+    def test_metrics_byte_identical_across_runs(self, lee_site):
+        first = self.run(lee_site).metrics.to_json()
+        second = self.run(build_site("lee")).metrics.to_json()
+        assert first == second
+
+    def test_page_run_elapsed_uses_obs_clock(self, lee_site):
+        obs = Observability(clock=ManualClock(tick=1.0))
+        run = SegmentationPipeline("csp", obs=obs).segment_generated_site(
+            lee_site
+        )
+        # Deterministic tick clock: elapsed is an exact integer of reads.
+        assert all(
+            page_run.elapsed == int(page_run.elapsed) and page_run.elapsed > 0
+            for page_run in run.pages
+        )
+
+    def test_uninstrumented_run_unaffected(self, lee_site):
+        run = SegmentationPipeline("csp").segment_generated_site(lee_site)
+        assert len(run.pages) == 2
+        assert current() is NULL_OBS
+
+
+class TestCrawlTracing:
+    def test_crawl_site_span_mirrors_health(self, lee_site):
+        obs = Observability(clock=ManualClock(tick=1.0))
+        crawl = crawl_site(lee_site, obs=obs)
+        (span,) = obs.tracer.find("crawl.site")
+        assert span.attributes["requests"] == crawl.health.requests
+        assert span.attributes["gaps"] == crawl.health.gap_count
+        assert len(span.children) == len(lee_site.list_pages)
+        assert obs.metrics.as_dict()["counters"]["crawl.requests"] == (
+            crawl.health.requests
+        )
+
+
+class TestCliObsFlags:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = cli_main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_trace_prints_span_tree(self):
+        code, output = self.run_cli(
+            "segment", "lee", "--method", "csp", "--trace"
+        )
+        assert code == 0
+        assert "pipeline.segment_site" in output
+        assert "├─ pipeline.template" in output
+        assert "csp.level" in output
+
+    def test_metrics_out_writes_registry(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        code, output = self.run_cli(
+            "segment", "lee", "--method", "csp", "--metrics-out", str(path)
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert "csp.wsat.flips" in payload["counters"]
+        assert "csp.wsat.restarts" in payload["counters"]
+        assert payload["counters"]["pipeline.pages"] == 2
+
+    def test_without_flags_no_trace_output(self):
+        code, output = self.run_cli("segment", "lee", "--method", "csp")
+        assert "pipeline.segment_site" not in output

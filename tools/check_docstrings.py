@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""CI gate: every module under ``src/repro/`` must have a docstring.
+
+Zero-dependency (stdlib ``ast`` only — no pydocstyle).  Exits 1 and
+lists the offenders when any module lacks a module-level docstring,
+so undocumented entry points cannot land silently.
+
+Usage::
+
+    python tools/check_docstrings.py [root]
+
+``root`` defaults to ``src/repro`` relative to the repo root (the
+directory above this script's).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def missing_docstrings(root: Path) -> list[Path]:
+    """Modules under ``root`` whose AST has no module docstring."""
+    offenders: list[Path] = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as error:
+            print(f"{path}: syntax error while checking: {error}")
+            offenders.append(path)
+            continue
+        if not ast.get_docstring(tree):
+            offenders.append(path)
+    return offenders
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    root = Path(argv[1]) if len(argv) > 1 else repo_root / "src" / "repro"
+    if not root.is_dir():
+        print(f"not a directory: {root}")
+        return 2
+    offenders = missing_docstrings(root)
+    if offenders:
+        print(f"{len(offenders)} module(s) missing a module docstring:")
+        for path in offenders:
+            print(f"  {path}")
+        return 1
+    checked = sum(1 for _ in root.rglob("*.py"))
+    print(f"ok: all {checked} modules under {root} have docstrings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

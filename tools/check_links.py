@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI gate: relative links in the documentation must resolve.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and images
+(``[text](target)``), skips external schemes (http/https/mailto) and
+pure in-page anchors, and verifies that every remaining target exists
+on disk relative to the file containing the link.  Exits 1 listing
+every dangling link, so docs reorganizations cannot silently orphan
+references.
+
+Usage::
+
+    python tools/check_links.py [file-or-dir ...]
+
+Defaults to ``README.md`` + ``docs/`` under the repo root.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — target captured without a title suffix.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def links_in(path: Path) -> list[str]:
+    """All markdown link targets in ``path``, in document order."""
+    return _LINK.findall(path.read_text(encoding="utf-8"))
+
+
+def dangling_links(files: list[Path]) -> list[tuple[Path, str]]:
+    """(file, target) pairs whose relative target does not exist."""
+    problems: list[tuple[Path, str]] = []
+    for path in files:
+        for target in links_in(path):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]  # strip in-page anchor
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                problems.append((path, target))
+    return problems
+
+
+def collect(arguments: list[str]) -> list[Path]:
+    repo_root = Path(__file__).resolve().parent.parent
+    if not arguments:
+        arguments = [str(repo_root / "README.md"), str(repo_root / "docs")]
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"warning: no such file {path}")
+    return files
+
+
+def main(argv: list[str]) -> int:
+    files = collect(argv[1:])
+    problems = dangling_links(files)
+    if problems:
+        print(f"{len(problems)} dangling link(s):")
+        for path, target in problems:
+            print(f"  {path}: {target}")
+        return 1
+    total = sum(len(links_in(path)) for path in files)
+    print(f"ok: {total} links across {len(files)} files all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
