@@ -11,11 +11,19 @@ Usage (after ``pip install -e .``)::
     python -m repro show superpages --page 0  # dump a generated page
     python -m repro export lee ./lee_pages    # save pages + manifest
     python -m repro segment-dir ./lee_pages   # segment saved pages
+    python -m repro export-corpus ./corpus    # save many sites at once
+    python -m repro segment-dir ./corpus --workers 4 --cache-dir ./cache
+    python -m repro segment-dir ./corpus --workers 4 --resume
 
 ``segment-dir`` works on *any* directory holding saved list/detail
 pages with a ``sample.json`` manifest — including pages you mirrored
 from a real site — so the full pipeline is usable from the shell; the
-other commands operate on the simulated corpus.
+other commands operate on the simulated corpus.  Handed a directory
+*of* sample directories (the ``export-corpus`` layout) it becomes a
+batch run through :mod:`repro.runner`: a worker pool
+(``--workers``), a content-addressed stage cache (``--cache-dir``), a
+JSONL run manifest, and ``--resume`` to finish an interrupted run.
+The exit code is non-zero when any site ends quarantined or failed.
 """
 
 from __future__ import annotations
@@ -42,6 +50,13 @@ def _rate(text: str) -> float:
 
 
 def _request_budget(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"{value} is not a positive count")
+    return value
+
+
+def _worker_count(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"{value} is not a positive count")
@@ -139,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=["prob", "csp"],
         help="methods to evaluate",
     )
+    table4.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="run the experiment's sites on a process pool this wide",
+    )
 
     export = commands.add_parser(
         "export", help="save a simulated site's pages + manifest to disk"
@@ -146,13 +167,62 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("site", choices=sorted(SITE_BUILDERS))
     export.add_argument("directory", help="output directory")
 
+    export_corpus = commands.add_parser(
+        "export-corpus",
+        help="save several simulated sites as sample subdirectories",
+    )
+    export_corpus.add_argument("directory", help="output directory")
+    export_corpus.add_argument(
+        "--sites",
+        nargs="+",
+        choices=sorted(SITE_BUILDERS),
+        default=None,
+        help="sites to export (default: all 12)",
+    )
+
     segment_dir = commands.add_parser(
         "segment-dir",
-        help="segment saved pages (a directory with a sample.json manifest)",
+        help=(
+            "segment saved pages: one sample directory, or a corpus of "
+            "sample subdirectories run as a (parallel, cached) batch"
+        ),
     )
-    segment_dir.add_argument("directory", help="sample directory")
+    segment_dir.add_argument("directory", help="sample or corpus directory")
     segment_dir.add_argument(
         "--method", choices=METHODS, default="prob", help="segmenter to run"
+    )
+    segment_dir.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="process-pool width (1 = run inline, serially)",
+    )
+    segment_dir.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="content-addressed stage cache; re-runs hit it",
+    )
+    segment_dir.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help=(
+            "JSONL run manifest path (default: run_manifest.jsonl "
+            "inside the corpus directory)"
+        ),
+    )
+    segment_dir.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip tasks the manifest already records as completed",
+    )
+    segment_dir.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stall watchdog: give up if no site finishes for this long",
     )
     _add_obs_flags(segment_dir)
 
@@ -228,7 +298,7 @@ def _cmd_segment(args, out) -> int:
 
 
 def _cmd_table4(args, out) -> int:
-    result = run_corpus(methods=tuple(args.methods))
+    result = run_corpus(methods=tuple(args.methods), workers=args.workers)
     print(render_table4(result), file=out)
     return 0
 
@@ -248,31 +318,91 @@ def _cmd_export(args, out) -> int:
 
 
 def _cmd_segment_dir(args, out) -> int:
-    from repro.webdoc.store import load_sample
+    from pathlib import Path
 
-    sample = load_sample(args.directory)
+    from repro.runner import BatchRunner, RunnerConfig, tasks_from_directory
+
+    try:
+        tasks = tasks_from_directory(args.directory, method=args.method)
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
     obs = _make_obs(args)
-    pipeline = SegmentationPipeline(args.method, obs=obs)
-    run = pipeline.segment_site(
-        sample.list_pages, sample.detail_pages_per_list
+    manifest_path = args.manifest or str(
+        Path(args.directory) / "run_manifest.jsonl"
     )
-    for page_run in run.pages:
-        segmentation = page_run.segmentation
-        print(
-            f"== {page_run.page.url} [{args.method}] "
-            f"{segmentation.record_count} records "
-            f"({page_run.elapsed:.2f}s)",
-            file=out,
-        )
-        for record in segmentation.records:
-            print(f"  {record}", file=out)
-        if segmentation.unassigned:
+    runner = BatchRunner(
+        RunnerConfig(
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            manifest_path=manifest_path,
+            resume=args.resume,
+            stall_timeout=args.timeout,
+            collect_trace=bool(args.trace),
+        ),
+        obs=obs,
+    )
+    batch = runner.run(tasks)
+
+    bad = 0
+    for result in sorted(batch.results, key=lambda r: r.task_id):
+        if result.status in ("failed", "timeout"):
+            bad += 1
+            reason = (result.error or result.status).strip().splitlines()[-1]
+            print(f"!! {result.task_id}: {result.status} — {reason}", file=out)
+            continue
+        if result.status == "quarantined":
+            bad += 1
+        for page in result.pages:
             print(
-                "  unassigned: "
-                + " | ".join(o.extract.text for o in segmentation.unassigned),
+                f"== {page.url} [{args.method}] "
+                f"{page.record_count} records "
+                f"({page.elapsed:.2f}s)",
                 file=out,
             )
+            for record in page.records:
+                print(f"  {record}", file=out)
+            if page.unassigned:
+                print(
+                    "  unassigned: " + " | ".join(page.unassigned),
+                    file=out,
+                )
+    counts = batch.by_status()
+    summary = (
+        f"sites: {counts.get('ok', 0)} ok, "
+        f"{counts.get('quarantined', 0)} quarantined, "
+        f"{counts.get('failed', 0) + counts.get('timeout', 0)} failed"
+    )
+    if batch.skipped:
+        summary += f", {len(batch.skipped)} resumed-skipped"
+    if args.cache_dir:
+        summary += (
+            f" (cache: {batch.cache_hits} hits, "
+            f"{batch.cache_misses} misses)"
+        )
+    if batch.interrupted:
+        summary += " [interrupted]"
+    print(summary, file=out)
     _emit_obs(args, obs, out)
+    return 1 if (bad or batch.interrupted) else 0
+
+
+def _cmd_export_corpus(args, out) -> int:
+    from pathlib import Path
+
+    from repro.webdoc.store import save_sample
+
+    names = args.sites or sorted(SITE_BUILDERS)
+    root = Path(args.directory)
+    for name in names:
+        site = build_site(name)
+        save_sample(
+            root / name,
+            name,
+            site.list_pages,
+            [site.detail_pages(i) for i in range(len(site.list_pages))],
+        )
+    print(f"wrote {len(names)} sample directories under {root}", file=out)
     return 0
 
 
@@ -298,6 +428,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_table4(args, out)
     if args.command == "export":
         return _cmd_export(args, out)
+    if args.command == "export-corpus":
+        return _cmd_export_corpus(args, out)
     if args.command == "segment-dir":
         return _cmd_segment_dir(args, out)
     if args.command == "show":

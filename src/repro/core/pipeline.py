@@ -26,6 +26,17 @@ report handed in by the crawl layer is carried on the
 :class:`SiteRun` and summarized into every ``Segmentation.meta`` — so
 evaluation can condition accuracy on crawl completeness.
 
+Every stage is also *cacheable*: constructed with a ``cache`` (any
+object with the :class:`~repro.runner.cache.StageCache` interface —
+the pipeline itself depends on nothing in :mod:`repro.runner`), the
+template / extracts / observations / segmentation stages are looked
+up by a content fingerprint of their exact inputs (page bytes + the
+stage's config slice) before being computed, so warm re-runs and
+parameter sweeps skip the work upstream of the changed knob.  Caching
+engages only for pristine samples: a run carrying a ``crawl_health``
+report came through a (possibly fault-injected) crawl whose
+degradation bookkeeping must actually execute, so it always computes.
+
 The pipeline is fully instrumented: handed an
 :class:`~repro.obs.Observability` bundle it emits a
 ``pipeline.segment_site`` span tree (template induction, then per
@@ -127,13 +138,30 @@ class SegmentationPipeline:
         method: str = "csp",
         config: PipelineConfig | None = None,
         obs: Observability | None = None,
+        cache=None,
     ) -> None:
         if method not in METHODS:
             raise ConfigError(f"unknown method {method!r}; pick from {METHODS}")
         self.method = method
         self.config = config or PipelineConfig()
         self.obs = obs if obs is not None else current_obs()
+        self.cache = cache
         self._finder = TemplateFinder(self.config.template)
+
+    def _method_config(self):
+        """The config slice that determines segmentation output."""
+        if self.method == "csp":
+            return self.config.csp
+        if self.method == "hybrid":
+            return (self.config.csp, self.config.prob)
+        return self.config.prob
+
+    @staticmethod
+    def _cached(cache, stage: str, parts, compute):
+        """``compute()`` through the stage cache when one is wired."""
+        if cache is None:
+            return compute()
+        return cache.get_or_compute(stage, parts, compute)
 
     def _make_segmenter(self):
         if self.method == "csp":
@@ -209,6 +237,10 @@ class SegmentationPipeline:
             )
         obs = self.obs
         obs.counter("pipeline.sites").inc()
+        # Caching engages only for pristine samples: degraded crawls
+        # must run their health/fallback bookkeeping for real.
+        cache = self.cache if crawl_health is None else None
+        list_htmls = [page.html for page in list_pages]
         with obs.span(
             "pipeline.segment_site",
             method=self.method,
@@ -217,7 +249,12 @@ class SegmentationPipeline:
             with obs.span(
                 "pipeline.template", pages=len(list_pages)
             ) as template_span:
-                verdict = self._find_template(list_pages, crawl_health)
+                verdict = self._cached(
+                    cache,
+                    "template",
+                    (list_htmls, self.config.template),
+                    lambda: self._find_template(list_pages, crawl_health),
+                )
                 template_span.attributes["ok"] = verdict.ok
                 if not verdict.ok:
                     template_span.attributes["reason"] = verdict.reason
@@ -233,9 +270,23 @@ class SegmentationPipeline:
                     "pipeline.page", index=index, url=region.page.url
                 ) as page_span:
                     started = obs.clock.now()
+                    # Each stage key extends the previous stage's key
+                    # material with its own inputs, so a downstream
+                    # knob change invalidates only downstream stages.
+                    extract_parts = (
+                        list_htmls,
+                        self.config.template,
+                        index,
+                        self.config.allowed_punct,
+                    )
                     with obs.span("pipeline.extracts") as extract_span:
-                        extracts = extract_strings(
-                            region, self.config.allowed_punct
+                        extracts = self._cached(
+                            cache,
+                            "extracts",
+                            extract_parts,
+                            lambda: extract_strings(
+                                region, self.config.allowed_punct
+                            ),
                         )
                         extract_span.attributes["count"] = len(extracts)
                     obs.counter("pipeline.extracts").inc(len(extracts))
@@ -244,15 +295,25 @@ class SegmentationPipeline:
                         for position, page in enumerate(list_pages)
                         if position != index
                     ]
+                    observe_parts = (
+                        *extract_parts,
+                        [p.html for p in detail_pages_per_list[index]],
+                        self.config.match,
+                    )
                     with obs.span(
                         "pipeline.observations",
                         detail_pages=len(detail_pages_per_list[index]),
                     ) as observe_span:
-                        table = ObservationTable.build(
-                            extracts,
-                            detail_pages_per_list[index],
-                            other_list_pages=other_lists,
-                            options=self.config.match,
+                        table = self._cached(
+                            cache,
+                            "observations",
+                            observe_parts,
+                            lambda: ObservationTable.build(
+                                extracts,
+                                detail_pages_per_list[index],
+                                other_list_pages=other_lists,
+                                options=self.config.match,
+                            ),
                         )
                         observe_span.attributes["observations"] = len(
                             table.observations
@@ -263,7 +324,16 @@ class SegmentationPipeline:
                     with obs.span(
                         "pipeline.segment", method=self.method
                     ) as segment_span:
-                        segmentation = self._segment_table(table)
+                        segmentation = self._cached(
+                            cache,
+                            "segment",
+                            (
+                                *observe_parts,
+                                self.method,
+                                self._method_config(),
+                            ),
+                            lambda: self._segment_table(table),
+                        )
                         segment_span.attributes["records"] = len(
                             segmentation.records
                         )

@@ -7,6 +7,14 @@ guards creation and every update), zero-dependency, and exports to
 JSON with stable key order so two identical runs produce identical
 dumps.
 
+Registries also cross *process* boundaries: they pickle cleanly under
+the ``spawn`` start method (locks are dropped on serialization and
+rebuilt on load), and :meth:`MetricsRegistry.merge` folds another
+registry — or its plain-dict :meth:`~MetricsRegistry.as_dict`
+snapshot, which is what the batch runner's workers ship home — into
+this one.  Counters add; histograms combine count/total/min/max, so a
+merged mean is exact.
+
 Naming convention (see ``docs/observability.md`` for the full
 catalogue): dotted lowercase paths, the first segment naming the
 subsystem (``pipeline.``, ``crawl.``, ``csp.``, ``relational.``), and
@@ -47,6 +55,14 @@ class Counter:
         with self._lock:
             self.value += amount
 
+    def __getstate__(self) -> dict[str, Any]:
+        return {"name": self.name, "value": self.value}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.name = state["name"]
+        self.value = state["value"]
+        self._lock = threading.Lock()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name!r}, value={self.value})"
 
@@ -82,6 +98,36 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def merge_summary(self, summary: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`summary` into this one."""
+        count = int(summary.get("count", 0))
+        if not count:
+            return
+        with self._lock:
+            self.count += count
+            self.total += float(summary["total"])
+            if float(summary["min"]) < self.min:
+                self.min = float(summary["min"])
+            if float(summary["max"]) > self.max:
+                self.max = float(summary["max"])
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.name = state["name"]
+        self.count = state["count"]
+        self.total = state["total"]
+        self.min = state["min"]
+        self.max = state["max"]
+        self._lock = threading.Lock()
 
     def summary(self, precision: int = 6) -> dict[str, Any]:
         """JSON-ready statistics (rounded for stable dumps)."""
@@ -160,6 +206,52 @@ class MetricsRegistry:
     def to_json(self, indent: int = 2) -> str:
         """The :meth:`as_dict` snapshot as a JSON string."""
         return json.dumps(self.as_dict(), indent=indent)
+
+    def merge(self, other: "MetricsRegistry | dict[str, Any]") -> None:
+        """Fold another registry (or an :meth:`as_dict` snapshot) in.
+
+        Counters add, histograms combine count/total/min/max.  This is
+        how per-worker registries from a multi-process batch run are
+        joined into the parent's registry; merging a live registry
+        uses its exact (unrounded) totals.
+        """
+        if isinstance(other, MetricsRegistry):
+            for counter in other.counters():
+                if counter.value:
+                    self.counter(counter.name).inc(counter.value)
+            for histogram in other.histograms():
+                if histogram.count:
+                    self.histogram(histogram.name).merge_summary(
+                        {
+                            "count": histogram.count,
+                            "total": histogram.total,
+                            "min": histogram.min,
+                            "max": histogram.max,
+                        }
+                    )
+            return
+        for name, value in other.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(int(value))
+        for name, summary in other.get("histograms", {}).items():
+            self.histogram(name).merge_summary(summary)
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Locks cannot cross a pickle boundary (the ``spawn`` start
+        # method pickles everything shipped to a worker); serialize
+        # the metric values and rebuild locks on load.
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "histograms": dict(self._histograms),
+            }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._lock = threading.Lock()
+        self._counters = state["counters"]
+        self._histograms = state["histograms"]
+        for metric in (*self._counters.values(), *self._histograms.values()):
+            metric._lock = self._lock
 
 
 class NullRegistry(MetricsRegistry):

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.obs.clock import Clock, SystemClock
 from repro.obs.metrics import MetricsRegistry
@@ -72,6 +72,23 @@ class Span:
         for child in self.children:
             found.extend(child.find(name))
         return found
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a span (tree) from its :meth:`to_dict` form.
+
+        Only durations survive a dump, not absolute clock readings, so
+        the rebuilt span starts at 0.0 and ends at its duration —
+        enough for :meth:`Tracer.render`, :attr:`duration` and
+        :meth:`find` to work on merged remote trees.
+        """
+        return cls(
+            name=data["name"],
+            start=0.0,
+            end=float(data.get("duration_s", 0.0)),
+            attributes=dict(data.get("attributes", {})),
+            children=[cls.from_dict(child) for child in data.get("children", [])],
+        )
 
 
 class Tracer:
@@ -135,6 +152,20 @@ class Tracer:
     def to_dict(self, precision: int = 6) -> list[dict[str, Any]]:
         """All root spans, JSON-ready."""
         return [root.to_dict(precision) for root in self.roots]
+
+    def merge(self, spans: "Iterable[Span | dict[str, Any]]") -> None:
+        """Append root spans recorded elsewhere (another process).
+
+        Accepts :class:`Span` objects or their :meth:`Span.to_dict`
+        form — the latter is what a batch-runner worker ships home.
+        Durations are *not* re-folded into the registry: the worker's
+        own registry already booked them and is merged separately, so
+        folding here would double-count.
+        """
+        for span in spans:
+            if isinstance(span, dict):
+                span = Span.from_dict(span)
+            self.roots.append(span)
 
     def render(self, precision: int = 6) -> str:
         """The span tree as indented ASCII, durations + attributes.

@@ -1,0 +1,61 @@
+"""Parallel batch execution with a content-addressed stage cache.
+
+The runner is the layer between the single-site
+:class:`~repro.core.pipeline.SegmentationPipeline` and every batch
+consumer (``repro segment-dir``, the Table 4 experiment driver, the
+scaling benchmarks).  It turns "a corpus of sites" into scheduled,
+cached, resumable work:
+
+* :mod:`repro.runner.engine` — :class:`BatchRunner`: a
+  ``ProcessPoolExecutor`` worker pool with ordered-by-cost
+  scheduling, a stall watchdog, graceful cancellation, and per-worker
+  observability merged back into the parent;
+* :mod:`repro.runner.cache` — :class:`StageCache`: stage results
+  keyed by a SHA-256 fingerprint of page bytes + stage config, with
+  checksummed, atomically-written entries;
+* :mod:`repro.runner.manifest` — :class:`RunManifest`: a JSONL
+  ledger of per-task outcomes that makes interrupted runs resumable;
+* :mod:`repro.runner.tasks` / :mod:`repro.runner.worker` — the task
+  shapes and the function executed inside each worker.
+
+See ``docs/runner.md`` for the cache-key scheme, manifest format and
+resume semantics.
+
+Usage::
+
+    from repro.runner import BatchRunner, RunnerConfig, tasks_from_directory
+
+    tasks = tasks_from_directory("./corpus", method="csp")
+    runner = BatchRunner(RunnerConfig(workers=4, cache_dir=".repro-cache"))
+    batch = runner.run(tasks)
+    print(batch.by_status(), batch.digest())
+"""
+
+from repro.runner.cache import CacheStats, StageCache, fingerprint
+from repro.runner.engine import BatchResult, BatchRunner, RunnerConfig
+from repro.runner.manifest import RunManifest, TaskRecord
+from repro.runner.tasks import (
+    PageOutcome,
+    SiteTask,
+    TaskResult,
+    tasks_for_sites,
+    tasks_from_directory,
+)
+from repro.runner.worker import execute_task
+
+__all__ = [
+    "BatchResult",
+    "BatchRunner",
+    "CacheStats",
+    "PageOutcome",
+    "RunManifest",
+    "RunnerConfig",
+    "SiteTask",
+    "StageCache",
+    "TaskRecord",
+    "TaskResult",
+    "execute_task",
+    "fingerprint",
+    "tasks_for_sites",
+    "tasks_from_directory",
+]

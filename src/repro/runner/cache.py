@@ -1,0 +1,198 @@
+"""Content-addressed on-disk cache for pipeline stage results.
+
+Every cacheable stage of the pipeline — tokenized pages, template
+verdicts, extract lists, observation tables, segmentations — is a
+pure function of (a) the page bytes it reads and (b) the stage's
+configuration.  :class:`StageCache` therefore keys each stored value
+by a SHA-256 fingerprint of exactly those inputs: re-running a corpus,
+or sweeping a downstream parameter, hits the cache for every stage
+whose inputs did not change instead of recomputing it.
+
+Fingerprinting (:func:`fingerprint`) canonicalizes Python values
+before hashing so keys are stable across processes and interpreter
+restarts: dicts hash by sorted key, sets and frozensets by sorted
+element digest (never by iteration order, which ``PYTHONHASHSEED``
+randomizes), dataclasses by qualified class name plus per-field
+values, and every value carries a type tag so ``1`` / ``1.0`` /
+``"1"`` produce distinct digests.
+
+Storage layout and integrity::
+
+    <root>/<stage>/<key[:2]>/<key>.bin
+    entry = sha256(payload) || payload        (payload = pickle)
+
+Entries are written atomically (temp file + ``os.replace``) so a
+killed run never leaves a torn entry, and verified on read: a
+checksum mismatch or unpickle failure is counted as *corrupt*, the
+entry is discarded, and the value is recomputed and rewritten — a
+damaged cache degrades to a cold one, it is never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.obs import NULL_OBS, Observability
+
+__all__ = ["CacheStats", "StageCache", "fingerprint"]
+
+_CHECKSUM_BYTES = 32
+
+
+def _update(digest: "hashlib._Hash", obj: Any) -> None:
+    """Feed one value into ``digest`` in canonical form."""
+    if obj is None:
+        digest.update(b"N;")
+    elif isinstance(obj, bool):  # before int: bool is an int subclass
+        digest.update(b"b1;" if obj else b"b0;")
+    elif isinstance(obj, int):
+        digest.update(b"i" + repr(obj).encode() + b";")
+    elif isinstance(obj, float):
+        digest.update(b"f" + repr(obj).encode() + b";")
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        digest.update(b"s" + str(len(data)).encode() + b":")
+        digest.update(data)
+    elif isinstance(obj, bytes):
+        digest.update(b"y" + str(len(obj)).encode() + b":")
+        digest.update(obj)
+    elif isinstance(obj, (list, tuple)):
+        digest.update(b"l(")
+        for item in obj:
+            _update(digest, item)
+        digest.update(b")")
+    elif isinstance(obj, (set, frozenset)):
+        # Iteration order is hash-randomized; sort element digests.
+        digest.update(b"e(")
+        for item_digest in sorted(fingerprint(item) for item in obj):
+            digest.update(item_digest.encode())
+        digest.update(b")")
+    elif isinstance(obj, dict):
+        digest.update(b"d(")
+        for key in sorted(obj, key=lambda k: fingerprint(k)):
+            _update(digest, key)
+            _update(digest, obj[key])
+        digest.update(b")")
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        digest.update(b"D" + type(obj).__qualname__.encode() + b"(")
+        for field in fields(obj):
+            _update(digest, field.name)
+            _update(digest, getattr(obj, field.name))
+        digest.update(b")")
+    else:
+        digest.update(b"r" + repr(obj).encode() + b";")
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of ``parts`` in canonical form.
+
+    Stable across processes and runs for the value kinds the pipeline
+    configures itself with (primitives, containers, dataclasses); see
+    the module docstring for the canonicalization rules.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        _update(digest, part)
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`StageCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}
+
+
+class StageCache:
+    """The content-addressed stage cache (see module docstring).
+
+    Args:
+        root: cache directory; created on first write.
+        obs: observability bundle for the ``runner.cache.*`` counters
+            (defaults to the no-op bundle).
+
+    Instances are cheap — one per worker task is the normal pattern —
+    and concurrent use of one ``root`` by many processes is safe:
+    reads verify checksums, writes are atomic renames, and two workers
+    racing to fill the same key simply both write the same bytes.
+    """
+
+    def __init__(
+        self, root: str | Path, obs: Observability | None = None
+    ) -> None:
+        self.root = Path(root)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.stats = CacheStats()
+
+    def key(self, stage: str, parts: Iterable[Any]) -> str:
+        """The cache key for ``stage`` over the given input parts."""
+        return fingerprint(stage, list(parts))
+
+    def _path(self, stage: str, key: str) -> Path:
+        return self.root / stage / key[:2] / f"{key}.bin"
+
+    def load(self, stage: str, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a verified hit, else ``(False, None)``."""
+        path = self._path(stage, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return False, None
+        checksum, payload = blob[:_CHECKSUM_BYTES], blob[_CHECKSUM_BYTES:]
+        if hashlib.sha256(payload).digest() != checksum:
+            self.stats.corrupt += 1
+            self.obs.counter("runner.cache.corrupt").inc()
+            return False, None
+        try:
+            return True, pickle.loads(payload)
+        except Exception:
+            self.stats.corrupt += 1
+            self.obs.counter("runner.cache.corrupt").inc()
+            return False, None
+
+    def store(self, stage: str, key: str, value: Any) -> None:
+        """Write ``value`` under ``key`` atomically (torn-write safe)."""
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = hashlib.sha256(payload).digest() + payload
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=".tmp-", delete=False
+        )
+        try:
+            with handle:
+                handle.write(blob)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def get_or_compute(
+        self, stage: str, parts: Iterable[Any], compute: Callable[[], Any]
+    ) -> Any:
+        """The cached value for ``stage`` + ``parts``, computing on miss."""
+        key = self.key(stage, parts)
+        found, value = self.load(stage, key)
+        if found:
+            self.stats.hits += 1
+            self.obs.counter("runner.cache.hits").inc()
+            return value
+        self.stats.misses += 1
+        self.obs.counter("runner.cache.misses").inc()
+        value = compute()
+        self.store(stage, key, value)
+        return value

@@ -1,0 +1,306 @@
+"""The batch-execution engine: a worker pool over site tasks.
+
+:class:`BatchRunner` takes a list of :class:`~repro.runner.tasks.SiteTask`
+and runs each through :func:`~repro.runner.worker.execute_task`,
+either inline (``workers <= 1`` — the serial reference path, bit-for-
+bit what the old per-site loops produced) or on a
+``ProcessPoolExecutor`` using the ``spawn`` start method (workers
+import the code fresh; nothing leaks from the parent but the pickled
+task).  Around the pool it provides:
+
+* **ordered-by-cost scheduling** — tasks are submitted largest
+  ``cost_hint`` first, so the expensive sites start immediately and
+  the pool's tail is short;
+* **a stall watchdog** (``stall_timeout``) — if no task completes for
+  that many seconds, still-running tasks are recorded as ``timeout``,
+  unstarted ones are cancelled, and the batch returns (a hung worker
+  cannot wedge the run; it is abandoned with the pool);
+* **graceful cancellation** — ``KeyboardInterrupt`` cancels unstarted
+  tasks, notes the interrupt in the manifest, and returns the partial
+  :class:`BatchResult`; a later ``--resume`` picks up the remainder;
+* **observability merge** — each worker's metrics snapshot (and span
+  tree, with ``collect_trace``) is folded into the parent bundle via
+  :meth:`MetricsRegistry.merge` / :meth:`Tracer.merge`, and the engine
+  books ``runner.*`` counters and the ``runner.batch`` span;
+* **manifest + resume** — every outcome is appended to the JSONL
+  :class:`~repro.runner.manifest.RunManifest`; with ``resume=True``
+  tasks already completed (per the manifest, fingerprint-checked) are
+  skipped.
+
+The cache (``cache_dir``) is shared by all workers: the first run
+fills it, subsequent runs and parameter sweeps hit it (see
+``docs/runner.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import PipelineConfig
+from repro.obs import Observability, current as current_obs
+from repro.runner.cache import fingerprint
+from repro.runner.manifest import RunManifest, TaskRecord
+from repro.runner.tasks import SiteTask, TaskResult
+from repro.runner.worker import execute_task
+
+__all__ = ["RunnerConfig", "BatchResult", "BatchRunner"]
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How a batch should execute.
+
+    Attributes:
+        workers: pool size; ``<= 1`` runs inline in this process.
+        cache_dir: stage-cache root; ``None`` disables caching.
+        manifest_path: JSONL run-manifest path; ``None`` disables the
+            manifest (and therefore resume).
+        resume: skip tasks the manifest records as completed.
+        stall_timeout: watchdog seconds (see module docstring);
+            ``None`` waits forever.
+        collect_trace: ship per-task span trees home and merge them
+            into the parent tracer (costs memory; off by default).
+        pipeline: pipeline configuration handed to every worker.
+    """
+
+    workers: int = 1
+    cache_dir: str | None = None
+    manifest_path: str | None = None
+    resume: bool = False
+    stall_timeout: float | None = None
+    collect_trace: bool = False
+    pipeline: PipelineConfig | None = None
+
+    def summary(self) -> dict[str, Any]:
+        """Manifest-header form (plain JSON data)."""
+        return {
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "resume": self.resume,
+            "stall_timeout": self.stall_timeout,
+            "pipeline": fingerprint(self.pipeline) if self.pipeline else None,
+        }
+
+
+@dataclass
+class BatchResult:
+    """What a batch run produced.
+
+    ``results`` holds one :class:`TaskResult` per *executed* task (in
+    completion order for parallel runs); ``skipped`` the task ids a
+    resume did not re-run; ``interrupted`` whether the run ended on
+    Ctrl-C or the stall watchdog.
+    """
+
+    results: list[TaskResult] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    interrupted: bool = False
+    wall_s: float = 0.0
+
+    def by_status(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        """Did every executed task finish with status ``ok``?"""
+        return not self.interrupted and all(
+            result.status == "ok" for result in self.results
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(result.cache_hits for result in self.results)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(result.cache_misses for result in self.results)
+
+    def digest(self) -> str:
+        """Order-independent fingerprint of all task result contents."""
+        return fingerprint(
+            "batch",
+            sorted(
+                (result.task_id, result.digest()) for result in self.results
+            ),
+        )
+
+
+class BatchRunner:
+    """Runs site tasks per a :class:`RunnerConfig` (see module docs)."""
+
+    def __init__(
+        self, config: RunnerConfig | None = None, obs: Observability | None = None
+    ) -> None:
+        self.config = config or RunnerConfig()
+        self.obs = obs if obs is not None else current_obs()
+
+    # -- helpers ----------------------------------------------------
+
+    def _manifest(self) -> RunManifest | None:
+        if self.config.manifest_path is None:
+            return None
+        return RunManifest(Path(self.config.manifest_path))
+
+    def _record(
+        self, manifest: RunManifest | None, task: SiteTask, result: TaskResult
+    ) -> None:
+        obs = self.obs
+        obs.counter(f"runner.tasks.{result.status}").inc()
+        obs.histogram("runner.task.seconds").observe(result.duration_s)
+        obs.metrics.merge(result.metrics)
+        if result.trace:
+            obs.tracer.merge(result.trace)
+        if manifest is not None:
+            manifest.append_task(
+                TaskRecord(
+                    task_id=task.task_id,
+                    fingerprint=task.fingerprint(),
+                    status=result.status,
+                    duration_s=result.duration_s,
+                    cache_hits=result.cache_hits,
+                    cache_misses=result.cache_misses,
+                    records=result.record_count,
+                    digest=result.digest(),
+                    error=result.error,
+                )
+            )
+
+    # -- the run ----------------------------------------------------
+
+    def run(self, tasks: list[SiteTask]) -> BatchResult:
+        """Execute ``tasks``; always returns (partial on interrupt)."""
+        config = self.config
+        manifest = self._manifest()
+        batch = BatchResult()
+        started = time.perf_counter()
+
+        pending = list(tasks)
+        if manifest is not None and config.resume:
+            done = manifest.completed(
+                {task.task_id: task.fingerprint() for task in tasks}
+            )
+            batch.skipped = [t.task_id for t in pending if t.task_id in done]
+            pending = [t for t in pending if t.task_id not in done]
+            self.obs.counter("runner.tasks.skipped").inc(len(batch.skipped))
+        # Largest first: the expensive sites start immediately, the
+        # pool drains evenly, and the tail is one small task long.
+        pending.sort(key=lambda task: task.cost_hint, reverse=True)
+
+        if manifest is not None:
+            manifest.write_header(
+                run=config.summary(), tasks=len(pending), resumed=config.resume
+            )
+
+        with self.obs.span(
+            "runner.batch", workers=config.workers, tasks=len(pending)
+        ) as span:
+            try:
+                if config.workers <= 1:
+                    self._run_serial(pending, manifest, batch)
+                else:
+                    self._run_pool(pending, manifest, batch)
+            except KeyboardInterrupt:
+                # Graceful cancellation: unstarted tasks were cancelled
+                # by the pool teardown; report what did finish and let
+                # a later --resume pick up the rest.
+                batch.interrupted = True
+                if manifest is not None:
+                    manifest.write_note("interrupted (KeyboardInterrupt)")
+            finally:
+                batch.wall_s = time.perf_counter() - started
+                span.attributes["completed"] = len(batch.results)
+                span.attributes["skipped"] = len(batch.skipped)
+                span.attributes["interrupted"] = batch.interrupted
+        return batch
+
+    def _run_serial(
+        self,
+        pending: list[SiteTask],
+        manifest: RunManifest | None,
+        batch: BatchResult,
+    ) -> None:
+        for task in pending:
+            result = execute_task(
+                task,
+                cache_dir=self.config.cache_dir,
+                collect_trace=self.config.collect_trace,
+                config=self.config.pipeline,
+            )
+            batch.results.append(result)
+            self._record(manifest, task, result)
+
+    def _run_pool(
+        self,
+        pending: list[SiteTask],
+        manifest: RunManifest | None,
+        batch: BatchResult,
+    ) -> None:
+        config = self.config
+        # ``spawn`` everywhere: identical semantics across platforms,
+        # and it catches unpicklable task state immediately.
+        executor = ProcessPoolExecutor(
+            max_workers=config.workers, mp_context=get_context("spawn")
+        )
+        futures = {}
+        try:
+            for task in pending:
+                futures[
+                    executor.submit(
+                        execute_task,
+                        task,
+                        cache_dir=config.cache_dir,
+                        collect_trace=config.collect_trace,
+                        config=config.pipeline,
+                    )
+                ] = task
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(
+                    not_done,
+                    timeout=config.stall_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Watchdog: nothing finished within stall_timeout.
+                    # Record the stragglers and abandon the pool.
+                    batch.interrupted = True
+                    for future in not_done:
+                        task = futures[future]
+                        cancelled = future.cancel()
+                        if not cancelled:
+                            result = TaskResult(
+                                task_id=task.task_id,
+                                status="timeout",
+                                duration_s=config.stall_timeout or 0.0,
+                                error="stall watchdog expired",
+                            )
+                            batch.results.append(result)
+                            self._record(manifest, task, result)
+                    if manifest is not None:
+                        manifest.write_note("stall watchdog expired")
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    return
+                for future in done:
+                    task = futures[future]
+                    try:
+                        result = future.result()
+                    except Exception as error:  # BrokenProcessPool etc.
+                        result = TaskResult(
+                            task_id=task.task_id,
+                            status="failed",
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                    batch.results.append(result)
+                    self._record(manifest, task, result)
+            executor.shutdown()
+        except KeyboardInterrupt:
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise

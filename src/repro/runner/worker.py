@@ -1,0 +1,202 @@
+"""The function a batch worker executes, and its task-kind handlers.
+
+:func:`execute_task` is the single entry point the engine submits to
+the process pool (it must stay a module-level function: the ``spawn``
+start method imports this module in the child and pickles only the
+:class:`~repro.runner.tasks.SiteTask` and a few plain arguments).  It
+builds a fresh per-worker :class:`~repro.obs.Observability` bundle and
+an optional :class:`~repro.runner.cache.StageCache`, dispatches on the
+task kind, and reduces the pipeline's output to a picklable
+:class:`~repro.runner.tasks.TaskResult` — including the worker
+registry's snapshot, which the engine merges into the parent's
+metrics so a parallel run profiles exactly like a serial one.
+
+Failures never escape: any exception becomes a ``failed`` result
+carrying the traceback, so one broken site cannot take down the
+batch (the process-pool analogue of the resilient pipeline's
+quarantine semantics).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import SegmentationPipeline, SiteRun
+from repro.obs import Observability
+from repro.runner.cache import StageCache
+from repro.runner.tasks import PageOutcome, SiteTask, TaskResult
+
+__all__ = ["execute_task"]
+
+#: Segmentation meta keys that mark a page as degraded enough to
+#: quarantine the site (exit non-zero, retry on resume-less re-runs).
+_QUARANTINE_META = ("segmenter_error", "empty_problem")
+
+
+def _warm_tokens(pages: list, cache: StageCache | None) -> None:
+    """Populate each page's token stream from the ``tokenize`` stage
+    cache (tokenization is keyed on page bytes alone)."""
+    if cache is None:
+        return
+    for page in pages:
+        page._tokens = cache.get_or_compute(
+            "tokenize", (page.html,), page.tokens
+        )
+
+
+def _outcomes(run: SiteRun) -> tuple[list[PageOutcome], str]:
+    """Reduce a :class:`SiteRun` to plain data + a site status."""
+    pages: list[PageOutcome] = []
+    quarantined = False
+    for page_run in run.pages:
+        segmentation = page_run.segmentation
+        meta = segmentation.meta
+        if any(key in meta for key in _QUARANTINE_META):
+            quarantined = True
+        pages.append(
+            PageOutcome(
+                url=page_run.page.url,
+                records=[str(record) for record in segmentation.records],
+                unassigned=[
+                    observation.extract.text
+                    for observation in segmentation.unassigned
+                ],
+                elapsed=page_run.elapsed,
+                notes={
+                    "template_ok": meta.get("template_ok"),
+                    "whole_page": meta.get("whole_page"),
+                    **{
+                        key: meta[key]
+                        for key in _QUARANTINE_META
+                        if key in meta
+                    },
+                },
+            )
+        )
+    if not run.pages:
+        quarantined = True
+    return pages, ("quarantined" if quarantined else "ok")
+
+
+def _run_sample_dir(
+    task: SiteTask,
+    pipeline: SegmentationPipeline,
+    cache: StageCache | None,
+) -> tuple[list[PageOutcome], str, Any]:
+    from repro.webdoc.store import load_sample
+
+    sample = load_sample(Path(task.spec))
+    _warm_tokens(sample.list_pages, cache)
+    for details in sample.detail_pages_per_list:
+        _warm_tokens(details, cache)
+    run = pipeline.segment_site(
+        sample.list_pages, sample.detail_pages_per_list
+    )
+    pages, status = _outcomes(run)
+    return pages, status, None
+
+
+def _run_generated(
+    task: SiteTask,
+    pipeline: SegmentationPipeline,
+    cache: StageCache | None,
+) -> tuple[list[PageOutcome], str, Any]:
+    from repro.sitegen.corpus import build_site
+
+    site = build_site(task.spec)
+    _warm_tokens(site.list_pages, cache)
+    details = [site.detail_pages(i) for i in range(len(site.list_pages))]
+    for page_set in details:
+        _warm_tokens(page_set, cache)
+    run = pipeline.segment_site(site.list_pages, details)
+    pages, status = _outcomes(run)
+    return pages, status, None
+
+
+def _run_eval_generated(
+    task: SiteTask,
+    pipeline: SegmentationPipeline,
+    cache: StageCache | None,
+) -> tuple[list[PageOutcome], str, Any]:
+    from repro.core.evaluation import score_page
+    from repro.reporting.aggregate import PageResult, notes_from_meta
+    from repro.sitegen.corpus import build_site
+
+    site = build_site(task.spec)
+    _warm_tokens(site.list_pages, cache)
+    details = [site.detail_pages(i) for i in range(len(site.list_pages))]
+    for page_set in details:
+        _warm_tokens(page_set, cache)
+    run = pipeline.segment_site(site.list_pages, details)
+    rows = [
+        PageResult(
+            site=site.spec.name,
+            page_index=truth.page_index,
+            method=task.method,
+            score=score_page(page_run.segmentation, truth),
+            notes=notes_from_meta(page_run.segmentation.meta),
+            elapsed=page_run.elapsed,
+            meta=dict(page_run.segmentation.meta),
+        )
+        for page_run, truth in zip(run.pages, site.truth)
+    ]
+    pages, status = _outcomes(run)
+    return pages, status, rows
+
+
+def execute_task(
+    task: SiteTask,
+    cache_dir: str | None = None,
+    collect_trace: bool = False,
+    config: PipelineConfig | None = None,
+) -> TaskResult:
+    """Run one task to a :class:`TaskResult`; never raises."""
+    obs = Observability(keep_spans=collect_trace)
+    cache = StageCache(cache_dir, obs=obs) if cache_dir else None
+    started = time.perf_counter()
+    try:
+        with obs.span(
+            "runner.task", task=task.task_id, kind=task.kind
+        ) as span:
+            if task.kind == "_sleep":  # stall-watchdog test hook
+                time.sleep(float(task.spec))
+                pages, status, payload = [], "ok", None
+            else:
+                handler = {
+                    "sample_dir": _run_sample_dir,
+                    "generated": _run_generated,
+                    "eval_generated": _run_eval_generated,
+                }.get(task.kind)
+                if handler is None:
+                    raise ValueError(f"unknown task kind {task.kind!r}")
+                pipeline = SegmentationPipeline(
+                    task.method, config, obs=obs, cache=cache
+                )
+                pages, status, payload = handler(task, pipeline, cache)
+            span.attributes["status"] = status
+            span.attributes["pages"] = len(pages)
+        return TaskResult(
+            task_id=task.task_id,
+            status=status,
+            duration_s=time.perf_counter() - started,
+            pages=pages,
+            cache_hits=cache.stats.hits if cache else 0,
+            cache_misses=cache.stats.misses if cache else 0,
+            metrics=obs.metrics.as_dict(),
+            trace=obs.tracer.to_dict() if collect_trace else None,
+            payload=payload,
+        )
+    except Exception:
+        return TaskResult(
+            task_id=task.task_id,
+            status="failed",
+            duration_s=time.perf_counter() - started,
+            cache_hits=cache.stats.hits if cache else 0,
+            cache_misses=cache.stats.misses if cache else 0,
+            metrics=obs.metrics.as_dict(),
+            error=traceback.format_exc(),
+        )

@@ -354,3 +354,81 @@ class TestCliObsFlags:
     def test_without_flags_no_trace_output(self):
         code, output = self.run_cli("segment", "lee", "--method", "csp")
         assert "pipeline.segment_site" not in output
+
+
+class TestCrossProcessMerge:
+    """MetricsRegistry / Tracer state crossing process boundaries."""
+
+    def test_registry_merge_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc(2)
+        a.histogram("h").observe(1.0)
+        b.counter("x").inc(3)
+        b.counter("y").inc(1)
+        b.histogram("h").observe(3.0)
+        a.merge(b)
+        snap = a.as_dict()
+        assert snap["counters"] == {"x": 5, "y": 1}
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["total"] == 4.0
+        assert snap["histograms"]["h"]["min"] == 1.0
+        assert snap["histograms"]["h"]["max"] == 3.0
+        assert snap["histograms"]["h"]["mean"] == 2.0
+
+    def test_registry_merge_snapshot_dict(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(7)
+        source.histogram("h").observe(0.5)
+        target = MetricsRegistry()
+        target.merge(source.as_dict())  # the picklable plain-dict form
+        assert target.as_dict()["counters"]["c"] == 7
+        assert target.as_dict()["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_is_plain_json_data(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(2.5)
+        # round-trips through JSON: no locks, no live objects
+        assert json.loads(json.dumps(registry.as_dict())) == registry.as_dict()
+
+    def test_registry_pickles_despite_locks(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4)
+        registry.histogram("h").observe(1.5)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.as_dict() == registry.as_dict()
+        # The clone is live: its rebuilt locks accept new updates.
+        clone.counter("c").inc()
+        assert clone.as_dict()["counters"]["c"] == 5
+
+    def test_merge_is_associative_enough_for_workers(self):
+        parts = []
+        for value in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("n").inc(value)
+            parts.append(registry.as_dict())
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for snapshot in parts:
+            left.merge(snapshot)
+        for snapshot in reversed(parts):
+            right.merge(snapshot)
+        assert left.as_dict() == right.as_dict()
+
+    def test_tracer_merge_from_dicts(self):
+        clock = ManualClock()
+        remote = Tracer(clock)
+        with remote.span("runner.task", task="lee"):
+            clock.advance(1.5)
+            with remote.span("pipeline.segment_site"):
+                clock.advance(0.5)
+        local = Tracer(ManualClock())
+        local.merge(remote.to_dict())
+        (root,) = local.roots
+        assert root.name == "runner.task"
+        assert root.duration == pytest.approx(2.0)
+        (child,) = root.children
+        assert child.name == "pipeline.segment_site"
+        assert local.find("pipeline.segment_site")
+        assert "runner.task" in local.render()

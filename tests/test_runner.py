@@ -1,0 +1,310 @@
+"""Tests for the batch-execution engine (runner/)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import Observability
+from repro.runner import (
+    BatchRunner,
+    RunManifest,
+    RunnerConfig,
+    SiteTask,
+    TaskRecord,
+    execute_task,
+    tasks_for_sites,
+    tasks_from_directory,
+)
+from repro.sitegen.corpus import build_site
+from repro.webdoc.store import save_sample
+
+SITES = ("lee", "butler", "ohio")
+
+
+def export_corpus(root, names=SITES):
+    for name in names:
+        site = build_site(name)
+        save_sample(
+            root / name,
+            name,
+            site.list_pages,
+            [site.detail_pages(i) for i in range(len(site.list_pages))],
+        )
+    return root
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestTasks:
+    def test_single_sample_dir_is_one_task(self, tmp_path):
+        export_corpus(tmp_path, names=("lee",))
+        (task,) = tasks_from_directory(tmp_path / "lee")
+        assert task.kind == "sample_dir" and task.task_id == "lee"
+        assert task.cost_hint > 0
+
+    def test_corpus_dir_is_one_task_per_subdir(self, tmp_path):
+        export_corpus(tmp_path)
+        tasks = tasks_from_directory(tmp_path)
+        assert sorted(t.task_id for t in tasks) == sorted(SITES)
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            tasks_from_directory(tmp_path)
+
+    def test_fingerprint_tracks_definition(self, tmp_path):
+        export_corpus(tmp_path, names=("lee",))
+        (prob,) = tasks_from_directory(tmp_path / "lee", method="prob")
+        (csp,) = tasks_from_directory(tmp_path / "lee", method="csp")
+        assert prob.fingerprint() != csp.fingerprint()
+
+
+class TestExecuteTask:
+    def test_sample_dir_task(self, tmp_path):
+        export_corpus(tmp_path, names=("lee",))
+        (task,) = tasks_from_directory(tmp_path / "lee", method="csp")
+        result = execute_task(task)
+        assert result.status == "ok"
+        assert len(result.pages) == 2  # lee has two list pages
+        assert result.record_count > 0
+        assert result.metrics["counters"]["pipeline.sites"] == 1
+
+    def test_failure_is_a_result_not_an_exception(self, tmp_path):
+        task = SiteTask(
+            task_id="gone", kind="sample_dir", spec=str(tmp_path / "gone")
+        )
+        result = execute_task(task)
+        assert result.status == "failed"
+        assert "SampleError" in (result.error or "")
+
+    def test_unknown_kind_fails_cleanly(self):
+        result = execute_task(SiteTask(task_id="x", kind="nope", spec=""))
+        assert result.status == "failed"
+
+    def test_degenerate_sample_is_quarantined(self, tmp_path):
+        directory = tmp_path / "broken"
+        directory.mkdir()
+        for name in ("l0.html", "l1.html"):
+            (directory / name).write_text("<html><body></body></html>")
+        (directory / "sample.json").write_text(
+            json.dumps(
+                {
+                    "name": "broken",
+                    "pages": [
+                        {"list": "l0.html", "details": []},
+                        {"list": "l1.html", "details": []},
+                    ],
+                }
+            )
+        )
+        (task,) = tasks_from_directory(directory)
+        result = execute_task(task)
+        assert result.status == "quarantined"
+
+    def test_trace_collection(self, tmp_path):
+        export_corpus(tmp_path, names=("lee",))
+        (task,) = tasks_from_directory(tmp_path / "lee")
+        result = execute_task(task, collect_trace=True)
+        assert result.trace and result.trace[0]["name"] == "runner.task"
+
+
+class TestManifest:
+    def test_roundtrip_and_latest_wins(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        manifest.write_header(run={"workers": 2}, tasks=2, resumed=False)
+        manifest.append_task(
+            TaskRecord(task_id="a", fingerprint="f1", status="failed")
+        )
+        manifest.append_task(
+            TaskRecord(task_id="a", fingerprint="f1", status="ok")
+        )
+        manifest.append_task(
+            TaskRecord(task_id="b", fingerprint="f2", status="ok")
+        )
+        assert manifest.completed() == {"a", "b"}
+        assert manifest.completed({"a": "f1"}) == {"a"}  # b unknown now
+        # A changed task definition under the same id is not skipped.
+        assert manifest.completed({"a": "different"}) == set()
+
+    def test_failed_tasks_are_retried(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        manifest.append_task(
+            TaskRecord(task_id="a", fingerprint="f", status="timeout")
+        )
+        assert manifest.completed() == set()
+
+    def test_torn_trailing_line_ignored(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        manifest = RunManifest(path)
+        manifest.append_task(
+            TaskRecord(task_id="a", fingerprint="f", status="ok")
+        )
+        with path.open("a") as handle:
+            handle.write('{"type": "task", "task_id": "b", "sta')  # killed
+        assert manifest.completed() == {"a"}
+
+
+class TestEngineSerial:
+    def test_statuses_digest_and_manifest(self, tmp_path):
+        corpus = export_corpus(tmp_path / "corpus")
+        tasks = tasks_from_directory(corpus, method="prob")
+        manifest_path = tmp_path / "run.jsonl"
+        obs = Observability()
+        batch = BatchRunner(
+            RunnerConfig(manifest_path=str(manifest_path)), obs=obs
+        ).run(tasks)
+        assert batch.by_status() == {"ok": len(SITES)}
+        assert not batch.interrupted
+        records = RunManifest(manifest_path).latest_by_task()
+        assert set(records) == set(SITES)
+        assert all(r["status"] == "ok" for r in records.values())
+        # The engine books runner.* metrics and merges worker metrics.
+        counters = obs.metrics.as_dict()["counters"]
+        assert counters["runner.tasks.ok"] == len(SITES)
+        assert counters["pipeline.sites"] == len(SITES)
+
+    def test_cost_ordering_runs_expensive_first(self, tmp_path):
+        tasks = [
+            SiteTask(task_id="small", kind="_sleep", spec="0", cost_hint=1),
+            SiteTask(task_id="big", kind="_sleep", spec="0", cost_hint=9),
+        ]
+        batch = BatchRunner(RunnerConfig()).run(tasks)
+        assert [r.task_id for r in batch.results] == ["big", "small"]
+
+    def test_resume_skips_completed(self, tmp_path):
+        corpus = export_corpus(tmp_path / "corpus")
+        tasks = tasks_from_directory(corpus, method="prob")
+        manifest_path = tmp_path / "run.jsonl"
+
+        # First run is "killed" after one task: run a subset.
+        first = BatchRunner(
+            RunnerConfig(manifest_path=str(manifest_path))
+        ).run(tasks[:1])
+        assert len(first.results) == 1
+
+        resumed = BatchRunner(
+            RunnerConfig(manifest_path=str(manifest_path), resume=True)
+        ).run(tasks)
+        assert sorted(resumed.skipped) == [tasks[0].task_id]
+        assert len(resumed.results) == len(tasks) - 1
+
+        # A third run has nothing left to do.
+        third = BatchRunner(
+            RunnerConfig(manifest_path=str(manifest_path), resume=True)
+        ).run(tasks)
+        assert third.results == [] and len(third.skipped) == len(tasks)
+
+    def test_cache_warm_run_identical(self, tmp_path):
+        corpus = export_corpus(tmp_path / "corpus")
+        tasks = tasks_from_directory(corpus, method="prob")
+        cache_dir = str(tmp_path / "cache")
+        cold = BatchRunner(RunnerConfig(cache_dir=cache_dir)).run(tasks)
+        warm = BatchRunner(RunnerConfig(cache_dir=cache_dir)).run(tasks)
+        assert cold.cache_misses > 0
+        assert warm.cache_misses == 0 and warm.cache_hits > 0
+        assert cold.digest() == warm.digest()
+
+
+class TestEngineParallel:
+    def test_parallel_matches_serial(self, tmp_path):
+        corpus = export_corpus(tmp_path / "corpus", names=("lee", "butler"))
+        tasks = tasks_from_directory(corpus, method="prob")
+        serial = BatchRunner(RunnerConfig(workers=1)).run(tasks)
+        parallel = BatchRunner(RunnerConfig(workers=2)).run(tasks)
+        assert parallel.by_status() == serial.by_status() == {"ok": 2}
+        assert parallel.digest() == serial.digest()
+
+    def test_stall_watchdog_times_out_hung_tasks(self):
+        tasks = [
+            SiteTask(task_id=f"sleep{i}", kind="_sleep", spec="30")
+            for i in range(2)
+        ]
+        batch = BatchRunner(
+            RunnerConfig(workers=2, stall_timeout=1.0)
+        ).run(tasks)
+        assert batch.interrupted
+        assert all(r.status == "timeout" for r in batch.results)
+
+
+class TestCliBatch:
+    def test_segment_dir_corpus_summary_and_exit(self, tmp_path):
+        export_corpus(tmp_path)
+        code, output = run_cli(
+            "segment-dir", str(tmp_path), "--method", "prob"
+        )
+        assert code == 0
+        assert f"sites: {len(SITES)} ok, 0 quarantined, 0 failed" in output
+        assert (tmp_path / "run_manifest.jsonl").is_file()
+
+    def test_segment_dir_resume_completes_remainder(self, tmp_path):
+        export_corpus(tmp_path)
+        manifest = tmp_path / "run.jsonl"
+        code, _ = run_cli(
+            "segment-dir", str(tmp_path / "lee"),
+            "--manifest", str(manifest),
+        )
+        assert code == 0
+        code, output = run_cli(
+            "segment-dir", str(tmp_path),
+            "--manifest", str(manifest), "--resume",
+        )
+        assert code == 0
+        assert "1 resumed-skipped" in output
+
+    def test_quarantined_site_exits_nonzero(self, tmp_path):
+        export_corpus(tmp_path, names=("lee",))
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        for name in ("l0.html", "l1.html"):
+            (broken / name).write_text("<html><body></body></html>")
+        (broken / "sample.json").write_text(
+            json.dumps(
+                {
+                    "name": "broken",
+                    "pages": [
+                        {"list": "l0.html", "details": []},
+                        {"list": "l1.html", "details": []},
+                    ],
+                }
+            )
+        )
+        code, output = run_cli("segment-dir", str(tmp_path))
+        assert code == 1
+        assert "1 quarantined" in output
+
+    def test_failed_site_exits_nonzero(self, tmp_path):
+        export_corpus(tmp_path, names=("lee",))
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "sample.json").write_text("{not json")
+        code, output = run_cli("segment-dir", str(tmp_path))
+        assert code == 1
+        assert "1 failed" in output
+        assert "!! bad: failed" in output
+
+    def test_export_corpus_roundtrip(self, tmp_path):
+        code, output = run_cli(
+            "export-corpus", str(tmp_path), "--sites", "lee", "butler"
+        )
+        assert code == 0 and "2 sample directories" in output
+        tasks = tasks_from_directory(tmp_path)
+        assert sorted(t.task_id for t in tasks) == ["butler", "lee"]
+
+
+class TestGeneratedTasks:
+    def test_generated_matches_sample_dir(self, tmp_path):
+        export_corpus(tmp_path, names=("lee",))
+        (dir_task,) = tasks_from_directory(tmp_path / "lee", method="prob")
+        (gen_task,) = tasks_for_sites(["lee"], method="prob")
+        dir_result = execute_task(dir_task)
+        gen_result = execute_task(gen_task)
+        assert [p.records for p in dir_result.pages] == [
+            p.records for p in gen_result.pages
+        ]

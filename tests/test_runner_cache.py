@@ -1,0 +1,172 @@
+"""Tests for the content-addressed stage cache (runner/cache.py)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import SegmentationPipeline
+from repro.csp.segmenter import CspConfig
+from repro.runner.cache import StageCache, fingerprint
+from repro.sitegen.corpus import build_site
+
+
+@dataclass(frozen=True)
+class _Knobs:
+    threshold: float = 0.5
+    tags: frozenset = frozenset({"a", "b"})
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert fingerprint("x", 1, [2, 3]) == fingerprint("x", 1, [2, 3])
+
+    def test_type_tags_distinguish_lookalikes(self):
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint(1) != fingerprint("1")
+        assert fingerprint(True) != fingerprint(1)
+        assert fingerprint(None) != fingerprint("None")
+
+    def test_container_shape_matters(self):
+        assert fingerprint([1, 2]) != fingerprint([2, 1])
+        assert fingerprint([1, 2]) != fingerprint([[1], [2]])
+
+    def test_set_order_independent(self):
+        # Iteration order of sets is hash-randomized across processes;
+        # the fingerprint must not depend on it.
+        assert fingerprint(frozenset("abcdef")) == fingerprint(
+            frozenset("fedcba")
+        )
+        assert fingerprint({"x": 1, "y": 2}) == fingerprint({"y": 2, "x": 1})
+
+    def test_dataclass_fields_matter(self):
+        assert fingerprint(_Knobs()) == fingerprint(_Knobs())
+        assert fingerprint(_Knobs()) != fingerprint(_Knobs(threshold=0.6))
+        assert fingerprint(_Knobs()) != fingerprint(
+            _Knobs(tags=frozenset({"a"}))
+        )
+
+    def test_pipeline_config_stable(self):
+        assert fingerprint(PipelineConfig()) == fingerprint(PipelineConfig())
+
+    def test_nested_config_change_changes_key(self):
+        base = PipelineConfig()
+        tweaked = PipelineConfig(csp=CspConfig(seed=999))
+        assert fingerprint(base) != fingerprint(tweaked)
+
+
+class TestStageCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = StageCache(tmp_path)
+        calls = []
+        value = cache.get_or_compute("s", ("k",), lambda: calls.append(1) or 42)
+        assert value == 42 and calls == [1]
+        again = cache.get_or_compute("s", ("k",), lambda: calls.append(2) or 43)
+        assert again == 42 and calls == [1]  # no recompute
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_different_parts_different_entries(self, tmp_path):
+        cache = StageCache(tmp_path)
+        assert cache.get_or_compute("s", ("a",), lambda: "A") == "A"
+        assert cache.get_or_compute("s", ("b",), lambda: "B") == "B"
+
+    def test_stage_namespaces_are_disjoint(self, tmp_path):
+        cache = StageCache(tmp_path)
+        assert cache.get_or_compute("s1", ("k",), lambda: 1) == 1
+        assert cache.get_or_compute("s2", ("k",), lambda: 2) == 2
+
+    def test_corrupted_entry_detected_and_recomputed(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.get_or_compute("s", ("k",), lambda: {"v": 1})
+        (entry,) = list((tmp_path / "s").rglob("*.bin"))
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload byte -> checksum mismatch
+        entry.write_bytes(bytes(blob))
+
+        fresh = StageCache(tmp_path)
+        value = fresh.get_or_compute("s", ("k",), lambda: {"v": 2})
+        # The damaged entry is never trusted: recomputed, not loaded.
+        assert value == {"v": 2}
+        assert fresh.stats.corrupt == 1 and fresh.stats.misses == 1
+        # ...and the rewritten entry is healthy again.
+        assert StageCache(tmp_path).get_or_compute(
+            "s", ("k",), lambda: {"v": 3}
+        ) == {"v": 2}
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.get_or_compute("s", ("k",), lambda: "value")
+        (entry,) = list((tmp_path / "s").rglob("*.bin"))
+        entry.write_bytes(entry.read_bytes()[:10])
+        fresh = StageCache(tmp_path)
+        assert fresh.get_or_compute("s", ("k",), lambda: "new") == "new"
+
+
+class TestPipelineCaching:
+    @pytest.fixture()
+    def site(self):
+        return build_site("lee")
+
+    def _run(self, site, cache):
+        pipeline = SegmentationPipeline("csp", cache=cache)
+        details = [
+            site.detail_pages(i) for i in range(len(site.list_pages))
+        ]
+        return pipeline.segment_site(site.list_pages, details)
+
+    @staticmethod
+    def _content(run):
+        return [
+            (
+                page_run.page.url,
+                [str(r) for r in page_run.segmentation.records],
+                [
+                    o.extract.text
+                    for o in page_run.segmentation.unassigned
+                ],
+                dict(page_run.segmentation.meta),
+            )
+            for page_run in run.pages
+        ]
+
+    def test_cold_and_warm_runs_identical(self, tmp_path, site):
+        cold = self._run(site, StageCache(tmp_path))
+        warm_cache = StageCache(tmp_path)
+        warm = self._run(site, warm_cache)
+        assert warm_cache.stats.misses == 0
+        assert warm_cache.stats.hits > 0
+        assert self._content(cold) == self._content(warm)
+        # Byte-identical content fingerprints, not just equal shapes.
+        assert fingerprint(self._content(cold)) == fingerprint(
+            self._content(warm)
+        )
+
+    def test_page_mutation_changes_keys(self, tmp_path, site):
+        cache = StageCache(tmp_path)
+        self._run(site, cache)
+        mutated = build_site("lee")
+        mutated.list_pages[0].html += "<!-- one byte more -->"
+        mutated.list_pages[0].invalidate_cache()
+        second = StageCache(tmp_path)
+        self._run(mutated, second)
+        # Page-0 stages recompute; page-1's extracts may still hit.
+        assert second.stats.misses > 0
+
+    def test_method_config_sweep_reuses_upstream(self, tmp_path, site):
+        self._run(site, StageCache(tmp_path))
+        sweep_cache = StageCache(tmp_path)
+        pipeline = SegmentationPipeline(
+            "csp",
+            PipelineConfig(csp=CspConfig(seed=7)),
+            cache=sweep_cache,
+        )
+        details = [
+            site.detail_pages(i) for i in range(len(site.list_pages))
+        ]
+        pipeline.segment_site(site.list_pages, details)
+        # Template / extracts / observations hit; only the
+        # segmentation stage (whose config changed) recomputes.
+        assert sweep_cache.stats.hits > 0
+        assert 0 < sweep_cache.stats.misses <= len(site.list_pages)
