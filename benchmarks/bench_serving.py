@@ -1,0 +1,176 @@
+"""Serving-path economics: cold pipeline vs. warm wrapper latency.
+
+The online service (``src/repro/serve/``, docs/serving.md) exists
+because applying a cached :class:`~repro.wrapper.induce.RowWrapper` is
+much cheaper than running the full pipeline.  This bench measures that
+asymmetry end to end — real HTTP server, real sockets, via
+:class:`~repro.serve.client.ServeClient` — and enforces the floor the
+serving design is justified by: **warm p50 at least 5x faster than
+cold p50** (service-reported latency, which both paths measure
+identically; the shared HTTP/JSON transport cost is reported
+separately via the client-side numbers and the throughput phase).
+
+The workload mirrors real traffic: the *cold* request uploads a whole
+site (the pipeline needs >= 2 list pages to induce a template); *warm*
+requests then ship one list page + its detail pages each — the
+incremental page-at-a-time traffic a warmed-up service actually sees.
+
+Headline numbers go to ``BENCH_serving.json`` (directory override:
+``BENCH_OUT_DIR``) so the serving perf trajectory is tracked across
+PRs like ``BENCH_scaling.json`` tracks the batch runner.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.serve import (
+    SegmentationServer,
+    SegmentationService,
+    ServeClient,
+    ServiceConfig,
+    payload_from_pages,
+)
+
+#: Distinct sites to cold-start (one pipeline run + induction each).
+SITES = ("ohio", "lee", "butler")
+#: Warm requests per site for the p50.
+WARM_ROUNDS = 6
+#: Concurrent clients in the throughput phase.
+THROUGHPUT_CLIENTS = 4
+#: Warm requests each throughput client fires.
+THROUGHPUT_ROUNDS = 8
+
+
+def _full_payload(corpus, name):
+    site = corpus.site(name)
+    return payload_from_pages(
+        name,
+        site.list_pages,
+        [site.detail_pages(i) for i in range(len(site.list_pages))],
+    )
+
+
+def _page_payload(corpus, name, index):
+    site = corpus.site(name)
+    return payload_from_pages(
+        name, site.list_pages[index : index + 1], [site.detail_pages(index)]
+    )
+
+
+def test_warm_path_beats_cold_path(corpus, benchmark, capsys):
+    service = SegmentationService(ServiceConfig(method="prob", workers=2))
+    server = SegmentationServer(service, port=0)
+    server.start()
+    client = ServeClient(server.address, timeout_s=300.0)
+    try:
+        cold_s: list[float] = []
+        cold_wall_s: list[float] = []
+        for name in SITES:
+            started = time.perf_counter()
+            response = client.segment(_full_payload(corpus, name))
+            cold_wall_s.append(time.perf_counter() - started)
+            assert response.status == 200
+            assert response.body["path"] == "pipeline", name
+            cold_s.append(response.body["elapsed_s"])
+
+        warm_s: list[float] = []
+        warm_wall_s: list[float] = []
+        warm_payloads = {
+            name: _page_payload(corpus, name, 1) for name in SITES
+        }
+        for name, payload in warm_payloads.items():
+            for _ in range(WARM_ROUNDS):
+                started = time.perf_counter()
+                response = client.segment(payload)
+                warm_wall_s.append(time.perf_counter() - started)
+                assert response.status == 200
+                assert response.body["path"] == "wrapper", name
+                assert response.body["record_count"] > 0, name
+                warm_s.append(response.body["elapsed_s"])
+
+        cold_p50 = statistics.median(cold_s)
+        warm_p50 = statistics.median(warm_s)
+        speedup = cold_p50 / warm_p50
+        # The acceptance floor: the whole serving design is pointless
+        # if the warm path is not clearly cheaper.
+        assert speedup >= 5.0, (
+            f"warm p50 only {speedup:.1f}x faster "
+            f"({cold_p50:.3f}s -> {warm_p50:.3f}s)"
+        )
+
+        # Sustained warm throughput under concurrent clients.
+        errors: list[int] = []
+        lock = threading.Lock()
+
+        def hammer(client_index: int) -> None:
+            own = ServeClient(server.address, timeout_s=300.0)
+            name = SITES[client_index % len(SITES)]
+            for _ in range(THROUGHPUT_ROUNDS):
+                response = own.segment(warm_payloads[name])
+                if response.status != 200:
+                    with lock:
+                        errors.append(response.status)
+
+        threads = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(THROUGHPUT_CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        assert errors == [], f"throughput phase saw errors: {errors}"
+        total_requests = THROUGHPUT_CLIENTS * THROUGHPUT_ROUNDS
+        throughput_rps = total_requests / elapsed
+
+        counters = service.metrics.as_dict()["counters"]
+        assert counters["serve.pipeline_runs"] == len(SITES)
+        assert counters.get("serve.fallbacks", 0) == 0
+
+        summary = {
+            "sites": len(SITES),
+            "method": "prob",
+            "workers": 2,
+            "cold_p50_s": round(cold_p50, 4),
+            "warm_p50_s": round(warm_p50, 6),
+            "warm_speedup": round(speedup, 1),
+            "cold_wall_p50_s": round(statistics.median(cold_wall_s), 4),
+            "warm_wall_p50_s": round(statistics.median(warm_wall_s), 6),
+            "throughput_clients": THROUGHPUT_CLIENTS,
+            "throughput_requests": total_requests,
+            "throughput_rps": round(throughput_rps, 1),
+            "wrapper_hits": counters["serve.wrapper_hits"],
+        }
+        out_dir = Path(os.environ.get("BENCH_OUT_DIR", "."))
+        out_path = out_dir / "BENCH_serving.json"
+        out_path.write_text(json.dumps(summary, indent=2) + "\n")
+        benchmark.extra_info.update(summary)
+
+        # One representative warm round for the benchmark harness.
+        benchmark.pedantic(
+            lambda: client.segment(warm_payloads[SITES[0]]),
+            iterations=1,
+            rounds=3,
+        )
+
+        with capsys.disabled():
+            print("\nserving, cold vs warm (prob, 3 sites):")
+            print(
+                f"  cold p50 {cold_p50:6.3f}s   warm p50 {warm_p50:8.5f}s "
+                f"  speedup {speedup:6.1f}x"
+            )
+            print(
+                f"  warm throughput {throughput_rps:6.1f} req/s "
+                f"({THROUGHPUT_CLIENTS} clients, 2 workers)"
+            )
+            print(f"  wrote {out_path}")
+    finally:
+        server.shutdown(drain_timeout_s=10.0)

@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro export-corpus ./corpus    # save many sites at once
     python -m repro segment-dir ./corpus --workers 4 --cache-dir ./cache
     python -m repro segment-dir ./corpus --workers 4 --resume
+    python -m repro segment lee --json        # machine-readable summary
+    python -m repro serve --port 8080         # long-lived HTTP service
+    python -m repro --version
 
 ``segment-dir`` works on *any* directory holding saved list/detail
 pages with a ``sample.json`` manifest — including pages you mirrored
@@ -24,6 +27,16 @@ batch run through :mod:`repro.runner`: a worker pool
 (``--workers``), a content-addressed stage cache (``--cache-dir``), a
 JSONL run manifest, and ``--resume`` to finish an interrupted run.
 The exit code is non-zero when any site ends quarantined or failed.
+
+``serve`` starts the long-lived online service (:mod:`repro.serve`):
+``POST /v1/segment`` answers from a per-site wrapper cache when it
+can and the full pipeline when it must, with admission control and
+graceful SIGTERM draining — see ``docs/serving.md``.
+
+``--json`` on ``segment`` and ``segment-dir`` swaps the human output
+for the machine-readable summary the service shares
+(:mod:`repro.serve.schema`), so shell pipelines and the HTTP path
+speak one format.
 """
 
 from __future__ import annotations
@@ -102,12 +115,19 @@ def _emit_obs(args, obs, out) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduction of 'Using the Structure of Web Sites for "
             "Automatic Segmentation of Tables' (SIGMOD 2004)."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -141,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=_request_budget,
         default=None,
         help="per-site request budget for the chaos crawl",
+    )
+    segment.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable summary instead of the record dump",
     )
     _add_obs_flags(segment)
 
@@ -224,7 +249,67 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="stall watchdog: give up if no site finishes for this long",
     )
+    segment_dir.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable summary instead of the record dump",
+    )
     _add_obs_flags(segment_dir)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived HTTP segmentation service",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=2,
+        help="segmentation worker threads",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_worker_count,
+        default=8,
+        help="admission-control queue depth (full queue answers 429)",
+    )
+    serve.add_argument(
+        "--method",
+        choices=METHODS,
+        default="prob",
+        help="default segmenter for payloads that name none",
+    )
+    serve.add_argument(
+        "--wrapper-cache-dir",
+        metavar="PATH",
+        default=None,
+        help="disk-backed wrapper registry (survives restarts)",
+    )
+    serve.add_argument(
+        "--wrapper-cache-max-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        metavar="BYTES",
+        help="LRU size bound of the wrapper cache directory",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request deadline (queued or running past it -> 504)",
+    )
+    serve.add_argument(
+        "--drift-threshold",
+        type=_rate,
+        default=0.5,
+        help="wrapper quality below this re-runs the pipeline (0-1)",
+    )
 
     show = commands.add_parser("show", help="print a generated page's HTML")
     show.add_argument("site", choices=sorted(SITE_BUILDERS))
@@ -266,12 +351,30 @@ def _cmd_segment(args, out) -> int:
         )
     else:
         run = pipeline.segment_generated_site(site)
-    if run.crawl_health is not None:
-        print(f"crawl: {run.crawl_health.summary()}", file=out)
     truth_by_url = {
         site.list_pages[truth.page_index].url: truth for truth in site.truth
     }
     status = 0
+    if args.json:
+        import json as json_module
+
+        from repro.serve.schema import site_run_summary
+
+        summary = site_run_summary(run)
+        summary["site"] = args.site
+        for page_run in run.pages:
+            truth = truth_by_url[page_run.page.url]
+            if score_page(page_run.segmentation, truth).cor < len(truth.rows):
+                status = 1
+        covered = {page_run.page.url for page_run in run.pages}
+        if any(url not in covered for url in truth_by_url):
+            status = 1
+        summary["exit_code"] = status
+        print(json_module.dumps(summary, indent=2), file=out)
+        _emit_obs(args, obs, out)
+        return status
+    if run.crawl_health is not None:
+        print(f"crawl: {run.crawl_health.summary()}", file=out)
     for page_run in run.pages:
         truth = truth_by_url[page_run.page.url]
         if args.page is not None and truth.page_index != args.page:
@@ -344,6 +447,22 @@ def _cmd_segment_dir(args, out) -> int:
     )
     batch = runner.run(tasks)
 
+    bad = sum(
+        1
+        for result in batch.results
+        if result.status in ("failed", "timeout", "quarantined")
+    )
+    if args.json:
+        import json as json_module
+
+        from repro.serve.schema import batch_summary
+
+        summary = batch_summary(batch, method=args.method)
+        summary["exit_code"] = 1 if (bad or batch.interrupted) else 0
+        print(json_module.dumps(summary, indent=2), file=out)
+        _emit_obs(args, obs, out)
+        return summary["exit_code"]
+
     bad = 0
     for result in sorted(batch.results, key=lambda r: r.task_id):
         if result.status in ("failed", "timeout"):
@@ -406,6 +525,29 @@ def _cmd_export_corpus(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.crawl.resilient import CrawlBudget
+    from repro.serve import (
+        SegmentationServer,
+        SegmentationService,
+        ServiceConfig,
+    )
+
+    service = SegmentationService(
+        ServiceConfig(
+            method=args.method,
+            drift_threshold=args.drift_threshold,
+            wrapper_cache_dir=args.wrapper_cache_dir,
+            wrapper_cache_max_bytes=args.wrapper_cache_max_bytes,
+            request_budget=CrawlBudget(deadline_s=args.deadline),
+            workers=args.workers,
+            max_queue=args.max_queue,
+        )
+    )
+    server = SegmentationServer(service, host=args.host, port=args.port)
+    return server.run(out=out)
+
+
 def _cmd_show(args, out) -> int:
     site = build_site(args.site)
     if args.detail is not None:
@@ -432,6 +574,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_export_corpus(args, out)
     if args.command == "segment-dir":
         return _cmd_segment_dir(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     if args.command == "show":
         return _cmd_show(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

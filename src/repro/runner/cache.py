@@ -26,6 +26,14 @@ killed run never leaves a torn entry, and verified on read: a
 checksum mismatch or unpickle failure is counted as *corrupt*, the
 entry is discarded, and the value is recomputed and rewritten — a
 damaged cache degrades to a cold one, it is never trusted.
+
+A cache may also be *size-bounded* (``max_bytes``): every verified hit
+bumps its entry's mtime, and every store prunes least-recently-used
+entries until the cache fits the budget again — the discipline a
+long-lived server needs, where an unbounded on-disk cache is a slow
+leak.  Evictions are booked into ``CacheStats.evictions`` and the
+``runner.cache.evictions`` counter.  Without ``max_bytes`` (the batch
+default) nothing is ever pruned.
 """
 
 from __future__ import annotations
@@ -109,9 +117,15 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     corrupt: int = 0
+    evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
+        }
 
 
 class StageCache:
@@ -121,18 +135,29 @@ class StageCache:
         root: cache directory; created on first write.
         obs: observability bundle for the ``runner.cache.*`` counters
             (defaults to the no-op bundle).
+        max_bytes: total on-disk size budget; each store prunes
+            least-recently-used entries back under it (None =
+            unbounded, the batch-run default).
 
     Instances are cheap — one per worker task is the normal pattern —
     and concurrent use of one ``root`` by many processes is safe:
     reads verify checksums, writes are atomic renames, and two workers
     racing to fill the same key simply both write the same bytes.
+    Pruning tolerates concurrent deletion (a missing file just means
+    someone else evicted it first).
     """
 
     def __init__(
-        self, root: str | Path, obs: Observability | None = None
+        self,
+        root: str | Path,
+        obs: Observability | None = None,
+        max_bytes: int | None = None,
     ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 (or None), got {max_bytes}")
         self.root = Path(root)
         self.obs = obs if obs is not None else NULL_OBS
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
 
     def key(self, stage: str, parts: Iterable[Any]) -> str:
@@ -155,11 +180,18 @@ class StageCache:
             self.obs.counter("runner.cache.corrupt").inc()
             return False, None
         try:
-            return True, pickle.loads(payload)
+            value = pickle.loads(payload)
         except Exception:
             self.stats.corrupt += 1
             self.obs.counter("runner.cache.corrupt").inc()
             return False, None
+        if self.max_bytes is not None:
+            # Bump recency so LRU pruning spares the working set.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+        return True, value
 
     def store(self, stage: str, key: str, value: Any) -> None:
         """Write ``value`` under ``key`` atomically (torn-write safe)."""
@@ -180,6 +212,52 @@ class StageCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._prune(keep=path)
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """Every cache entry as ``(mtime, size, path)``, oldest first."""
+        entries: list[tuple[float, int, Path]] = []
+        for path in self.root.glob("*/*/*.bin"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda entry: (entry[0], entry[2]))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Current on-disk size of all cache entries."""
+        return sum(size for _, size, _ in self._entries())
+
+    def _prune(self, keep: Path | None = None) -> None:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        The just-written entry (``keep``) is evicted only as a last
+        resort — when it alone exceeds the whole budget.
+        """
+        assert self.max_bytes is not None
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        evictions = 0
+        for pass_keeps_new in (True, False):
+            for _, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                if pass_keeps_new and keep is not None and path == keep:
+                    continue
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                total -= size
+                evictions += 1
+            if total <= self.max_bytes:
+                break
+        if evictions:
+            self.stats.evictions += evictions
+            self.obs.counter("runner.cache.evictions").inc(evictions)
 
     def get_or_compute(
         self, stage: str, parts: Iterable[Any], compute: Callable[[], Any]

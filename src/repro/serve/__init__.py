@@ -1,0 +1,64 @@
+"""Online segmentation: a long-lived HTTP service over the pipeline.
+
+Everything below :mod:`repro.serve` turns the one-shot batch codebase
+into the ROADMAP's long-lived server.  The economics come from the
+wrapper layer: the full pipeline costs seconds per site, but a site's
+induced :class:`~repro.wrapper.induce.RowWrapper` re-extracts further
+pages in milliseconds — so the service learns each site once (the
+*cold* path), caches the wrapper per site (the
+:class:`~repro.serve.registry.WrapperRegistry`, optionally disk-backed
+through the LRU-bounded :class:`~repro.runner.cache.StageCache`), and
+answers repeat traffic from it (the *warm* path).  Template drift is
+caught by :mod:`repro.serve.drift`'s detail-page cross-check and
+triggers a pipeline fallback plus re-induction, so a redesigned site
+heals itself on the next request.
+
+Module map (request logic is transport-free by design):
+
+* :mod:`~repro.serve.schema` — wire shapes shared with the CLI's
+  ``--json`` output; payload parsing;
+* :mod:`~repro.serve.drift` — wrapper-output quality scoring without
+  ground truth;
+* :mod:`~repro.serve.registry` — the per-site wrapper cache;
+* :mod:`~repro.serve.service` — ``POST /v1/segment`` semantics
+  (:class:`SegmentationService`);
+* :mod:`~repro.serve.http` — stdlib HTTP front end with a bounded
+  worker pool, admission control (429 + Retry-After), per-request
+  deadlines (504), ``/healthz``, ``/metricz`` and graceful SIGTERM
+  draining (:class:`SegmentationServer`);
+* :mod:`~repro.serve.client` — stdlib client for tests, smoke jobs
+  and benchmarks.
+
+CLI: ``repro serve --port 8080 --workers 4 --max-queue 16
+--wrapper-cache-dir ./wrappers``.  Full endpoint and capacity-knob
+reference: ``docs/serving.md``.
+"""
+
+from repro.serve.client import (
+    ServeClient,
+    ServeResponse,
+    payload_from_pages,
+    payload_from_sample,
+)
+from repro.serve.drift import DriftVerdict, wrapped_page_quality
+from repro.serve.http import SegmentationServer
+from repro.serve.registry import WrapperRegistry
+from repro.serve.service import (
+    SegmentationService,
+    ServeError,
+    ServiceConfig,
+)
+
+__all__ = [
+    "DriftVerdict",
+    "SegmentationServer",
+    "SegmentationService",
+    "ServeClient",
+    "ServeError",
+    "ServeResponse",
+    "ServiceConfig",
+    "WrapperRegistry",
+    "payload_from_pages",
+    "payload_from_sample",
+    "wrapped_page_quality",
+]

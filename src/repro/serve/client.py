@@ -1,0 +1,143 @@
+"""Minimal stdlib client for the segmentation service.
+
+Used by the tests, the CI smoke job (``tools/serve_smoke.py``) and the
+serving benchmark — anything that needs to talk to a running ``repro
+serve`` without pulling in an HTTP library.  Every call returns a
+:class:`ServeResponse` (status + parsed JSON + headers); HTTP error
+statuses are returned, not raised, because callers routinely *assert
+on* 429/503/504.  Only transport-level failures (connection refused,
+socket timeout) raise, as :class:`urllib.error.URLError`.
+
+Building a payload from pages on disk::
+
+    from repro.webdoc.store import load_sample
+    from repro.serve.client import ServeClient, payload_from_sample
+
+    client = ServeClient("http://127.0.0.1:8080")
+    sample = load_sample("./corpus/lee")
+    response = client.segment(payload_from_sample(sample))
+    assert response.status == 200 and response.body["path"] in (
+        "pipeline", "wrapper"
+    )
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any
+
+from repro.webdoc.page import Page
+from repro.webdoc.store import PageSample
+
+__all__ = [
+    "ServeClient",
+    "ServeResponse",
+    "payload_from_pages",
+    "payload_from_sample",
+]
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One HTTP exchange, reduced to what tests assert on."""
+
+    status: int
+    body: Any
+    headers: dict[str, str]
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def payload_from_pages(
+    site: str,
+    list_pages: list[Page],
+    detail_pages_per_list: list[list[Page]],
+    method: str | None = None,
+) -> dict[str, Any]:
+    """A ``/v1/segment`` payload from in-memory pages."""
+    payload: dict[str, Any] = {
+        "site": site,
+        "pages": [
+            {
+                "url": list_page.url,
+                "list": list_page.html,
+                "details": [page.html for page in details],
+            }
+            for list_page, details in zip(list_pages, detail_pages_per_list)
+        ],
+    }
+    if method is not None:
+        payload["method"] = method
+    return payload
+
+
+def payload_from_sample(
+    sample: PageSample, method: str | None = None
+) -> dict[str, Any]:
+    """A ``/v1/segment`` payload from a loaded sample directory."""
+    return payload_from_pages(
+        sample.name, sample.list_pages, sample.detail_pages_per_list, method
+    )
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` instance.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8080"`` (no trailing slash).
+        timeout_s: socket timeout per request.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(
+        self, path: str, body: dict[str, Any] | None = None
+    ) -> ServeResponse:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as raw:
+                return ServeResponse(
+                    status=raw.status,
+                    body=json.loads(raw.read().decode("utf-8")),
+                    headers=dict(raw.headers.items()),
+                )
+        except urllib.error.HTTPError as error:
+            payload = error.read().decode("utf-8", errors="replace")
+            try:
+                parsed = json.loads(payload)
+            except json.JSONDecodeError:
+                parsed = {"error": payload}
+            return ServeResponse(
+                status=error.code,
+                body=parsed,
+                headers=dict(error.headers.items()),
+            )
+
+    def segment(self, payload: dict[str, Any]) -> ServeResponse:
+        """``POST /v1/segment``."""
+        return self._request("/v1/segment", body=payload)
+
+    def sleep(self, seconds: float) -> ServeResponse:
+        """Submit the worker-holding test hook (queue saturation)."""
+        return self._request("/v1/segment", body={"_sleep": seconds})
+
+    def healthz(self) -> ServeResponse:
+        """``GET /healthz``."""
+        return self._request("/healthz")
+
+    def metricz(self) -> ServeResponse:
+        """``GET /metricz``."""
+        return self._request("/metricz")

@@ -1,0 +1,154 @@
+"""Wrapper drift detection for the online segmentation service.
+
+A cached :class:`~repro.wrapper.induce.RowWrapper` is only as good as
+the site's template staying put.  When the site is redesigned — or the
+cached wrapper was induced from an unlucky sample — ``apply_wrapper``
+silently produces garbage: zero rows (boundary pattern gone) or rows
+whose content no longer lines up with the records.  The service must
+notice *without ground truth*, which the offline evaluation's
+:func:`~repro.wrapper.apply.score_wrapped_rows` requires but a live
+request cannot supply.
+
+:func:`wrapped_page_quality` is the online stand-in for that score: it
+exploits the one cross-check every ``/v1/segment`` request carries —
+the detail pages.  Row *i* of a healthy list page links to detail page
+*i*, and (paper Section 3.2) a record's list-view values reappear on
+its detail page.  So the score combines
+
+* **count agreement** — wrapped row count vs. detail page count
+  (``min/max`` ratio), and
+* **content agreement** — the fraction of checked rows whose extract
+  texts mostly (>= ``MATCH_FRACTION``) appear verbatim in *some*
+  detail page's text, mirroring ``score_wrapped_rows``'s "row text
+  covers the record's values" criterion with the detail pages standing
+  in for the truth rows.  Rows are matched against any detail page,
+  not their index pair, because a wrapper that legitimately misses one
+  boundary shifts every later index — a one-row gap must read as a
+  small quality dip, not as total drift.
+
+Both are in ``[0, 1]``; the page score is their product, so either
+failure mode alone drags it down.  A healthy template scores near 1.0;
+a drifted one scores near 0 (usually exactly 0, because the boundary
+pattern vanishes).  The service compares the mean page score against
+``ServiceConfig.drift_threshold`` and falls back to the full pipeline
+— re-inducing and re-caching the wrapper — when it drops below.
+
+The check is deliberately cheaper than it looks: template drift is
+all-or-nothing (a redesign breaks *every* row), so content agreement
+is judged on the first ``MAX_CONTENT_ROWS`` rows only, and detail
+pages are tokenized lazily, in order, as the matching consumes them.
+On a healthy page row *k* matches detail *k* (or *k±1* around a
+dropped boundary), so only a handful of detail pages ever get
+tokenized — which is what keeps the warm serving path an order of
+magnitude cheaper than the pipeline.  A genuinely drifted page pays
+for tokenizing every detail, but it is about to pay for a full
+pipeline run anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.webdoc.page import Page
+from repro.wrapper.apply import WrappedRow
+
+__all__ = ["DriftVerdict", "wrapped_page_quality"]
+
+#: Fraction of a row's extract texts that must appear on its detail
+#: page for the row to count as validated.  Below 1.0 because list
+#: rows carry chrome the detail page lacks (link text, row numbers)
+#: and quirks may re-spell individual fields.
+MATCH_FRACTION = 0.4
+
+#: Rows content-checked per page.  Drift breaks every row at once, so
+#: a prefix sample decides as reliably as the full page at a fraction
+#: of the tokenization cost (see module docstring).
+MAX_CONTENT_ROWS = 6
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """Outcome of checking wrapper output against one request.
+
+    Attributes:
+        score: mean per-page quality in [0, 1].
+        threshold: the configured fallback threshold.
+    """
+
+    score: float
+    threshold: float
+
+    @property
+    def drifted(self) -> bool:
+        """Should the service distrust the wrapper and fall back?"""
+        return self.score < self.threshold
+
+    def as_dict(self) -> dict:
+        return {
+            "score": round(self.score, 4),
+            "threshold": self.threshold,
+            "drifted": self.drifted,
+        }
+
+
+def _detail_text(page: Page) -> str:
+    """The page's visible text, reconstructed like ``Extract.text``.
+
+    Spacing must match the extracts' own rendering (``ws_before``
+    flags), or healthy multi-token values would fail the substring
+    test on punctuation spacing alone.
+    """
+    pieces: list[str] = []
+    for token in page.text_tokens():
+        if pieces and token.ws_before:
+            pieces.append(" ")
+        pieces.append(token.text)
+    return "".join(pieces)
+
+
+def wrapped_page_quality(
+    rows: Sequence[WrappedRow], detail_pages: Sequence[Page]
+) -> float:
+    """Quality in [0, 1] of wrapper output for one list page.
+
+    ``rows`` is ``apply_wrapper``'s output; ``detail_pages`` are the
+    request's detail pages for the same list page, in link order.
+    With no detail pages to check against, any non-empty extraction is
+    trusted (score 1.0) and an empty one is not (0.0).
+    """
+    if not rows:
+        return 0.0
+    if not detail_pages:
+        return 1.0
+    expected = len(detail_pages)
+    count_score = min(len(rows), expected) / max(len(rows), expected)
+
+    # Detail texts materialize lazily: on a healthy page the checked
+    # rows match the first few details and the rest never tokenize.
+    rendered: list[str] = []
+    remaining = iter(detail_pages)
+
+    def detail_texts():
+        yield from rendered
+        for page in remaining:
+            text = _detail_text(page)
+            rendered.append(text)
+            yield text
+
+    validated = 0
+    considered = 0
+    for row in rows[:MAX_CONTENT_ROWS]:
+        texts = [extract.text for extract in row.extracts if extract.text.strip()]
+        if not texts:
+            continue
+        considered += 1
+        needed = MATCH_FRACTION * len(texts)
+        for detail_text in detail_texts():
+            hits = sum(1 for text in texts if text in detail_text)
+            if hits >= needed:
+                validated += 1
+                break
+    if not considered:
+        return 0.0
+    return count_score * (validated / considered)

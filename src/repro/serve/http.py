@@ -1,0 +1,360 @@
+"""Stdlib HTTP front end for the segmentation service.
+
+Zero extra dependencies: :class:`http.server.ThreadingHTTPServer`
+accepts connections (one handler thread each), but handler threads do
+**no segmentation work** — they parse the request, submit a job to a
+bounded :class:`queue.Queue`, and wait on the job's event.  A fixed
+pool of worker threads drains the queue.  That split is what gives the
+server real capacity behavior instead of thread-per-request collapse:
+
+* **admission control** — ``queue.put_nowait`` on a full queue is an
+  instant ``429 Too Many Requests`` with a ``Retry-After`` hint; the
+  server sheds load at the door instead of stacking it up;
+* **deadlines** — every job carries an absolute deadline from the
+  service's :class:`~repro.crawl.resilient.CrawlBudget`
+  (``request_budget.deadline_s``).  A handler waiting past it answers
+  ``504``; a worker that dequeues an already-expired or abandoned job
+  drops it (``serve.deadline_drops``) rather than burning CPU on an
+  answer nobody is waiting for;
+* **graceful shutdown** — SIGTERM/SIGINT flips the server to
+  *draining*: new ``/v1/segment`` requests get ``503`` (``/healthz``
+  keeps answering, reporting ``"draining"``), queued jobs finish,
+  workers join, and ``run()`` returns 0.
+
+Endpoints::
+
+    POST /v1/segment   segment a site payload (JSON in, JSON out)
+    GET  /healthz      liveness + queue depth + drain state
+    GET  /metricz      the shared MetricsRegistry as JSON
+
+Error codes: 400 malformed JSON/schema, 404 unknown path, 405 wrong
+verb, 413 oversized body, 429 queue full, 500 internal error, 503
+draining, 504 deadline exceeded.  Every response carries its
+``X-Trace-Id``; segment responses repeat it in the body.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.serve.service import SegmentationService, ServeError
+
+__all__ = ["SegmentationServer"]
+
+
+@dataclass
+class _Job:
+    """One queued segmentation request."""
+
+    payload: Any
+    trace_id: str
+    deadline: float | None
+    done: threading.Event = field(default_factory=threading.Event)
+    response: dict[str, Any] | None = None
+    error: ServeError | None = None
+    abandoned: bool = False
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+class SegmentationServer:
+    """The long-lived HTTP server around a :class:`SegmentationService`.
+
+    Args:
+        service: the request logic (owns registry, metrics, config).
+        host: bind address.
+        port: bind port (0 = ephemeral; see :attr:`port` after start).
+    """
+
+    def __init__(
+        self,
+        service: SegmentationService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ) -> None:
+        self.service = service
+        config = service.config
+        self.queue: "queue.Queue[_Job]" = queue.Queue(maxsize=config.max_queue)
+        self.draining = threading.Event()
+        self._workers: list[threading.Thread] = []
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+        self.httpd = ThreadingHTTPServer(
+            (host, port), self._handler_class(), bind_and_activate=True
+        )
+        self.httpd.daemon_threads = True
+
+    # -- facts ---------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        return self.httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def queue_depth(self) -> int:
+        return self.queue.qsize()
+
+    def in_flight(self) -> int:
+        with self._in_flight_lock:
+            return self._in_flight
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        drops = self.service.metrics.counter("serve.deadline_drops")
+        while True:
+            job = self.queue.get()
+            if job is None:  # drain sentinel
+                self.queue.task_done()
+                return
+            with self._in_flight_lock:
+                self._in_flight += 1
+            try:
+                if job.abandoned or job.expired(time.monotonic()):
+                    drops.inc()
+                    continue
+                try:
+                    job.response = self.service.segment(
+                        job.payload, trace_id=job.trace_id
+                    )
+                except ServeError as error:
+                    job.error = error
+                except Exception as error:  # never kill the pool
+                    job.error = ServeError(
+                        500, f"{type(error).__name__}: {error}"
+                    )
+            finally:
+                with self._in_flight_lock:
+                    self._in_flight -= 1
+                job.done.set()
+                self.queue.task_done()
+
+    def _start_workers(self) -> None:
+        if self._workers:
+            return
+        for index in range(self.service.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._workers.append(thread)
+
+    # -- request paths -------------------------------------------------------
+
+    def _submit(self, payload: Any, trace_id: str) -> _Job:
+        """Admission control: enqueue or refuse with 429/503.
+
+        Raises:
+            ServeError: 503 while draining, 429 on a full queue.
+        """
+        if self.draining.is_set():
+            raise ServeError(503, "server is draining")
+        budget = self.service.config.request_budget
+        deadline = (
+            time.monotonic() + budget.deadline_s
+            if budget.deadline_s is not None
+            else None
+        )
+        job = _Job(payload=payload, trace_id=trace_id, deadline=deadline)
+        try:
+            self.queue.put_nowait(job)
+        except queue.Full:
+            self.service.metrics.counter("serve.rejected").inc()
+            raise ServeError(429, "request queue is full") from None
+        return job
+
+    def _await(self, job: _Job) -> dict[str, Any]:
+        """Wait for the job within its deadline.
+
+        Raises:
+            ServeError: 504 when the deadline passes first.
+        """
+        timeout = (
+            None
+            if job.deadline is None
+            else max(job.deadline - time.monotonic(), 0.0)
+        )
+        if not job.done.wait(timeout):
+            job.abandoned = True
+            self.service.metrics.counter("serve.deadline_hits").inc()
+            raise ServeError(504, "deadline exceeded")
+        if job.error is not None:
+            raise job.error
+        if job.response is None:
+            # The worker dropped the job at the deadline edge.
+            raise ServeError(504, "deadline exceeded")
+        return job.response
+
+    def _retry_after_s(self) -> int:
+        """Honest Retry-After hint: mean request time x queue length."""
+        latency = self.service.metrics.histogram("serve.request.seconds")
+        mean = latency.mean if latency.count else 1.0
+        return max(1, int(mean * (self.queue.qsize() + 1) + 0.5))
+
+    def _health_body(self) -> dict[str, Any]:
+        return self.service.health(
+            status="draining" if self.draining.is_set() else "ok",
+            queue_depth=self.queue_depth(),
+            queue_limit=self.service.config.max_queue,
+            workers=self.service.config.workers,
+            in_flight=self.in_flight(),
+        )
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    def _handler_class(self) -> type[BaseHTTPRequestHandler]:
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            server_version = "repro-serve"
+
+            def log_message(self, format: str, *args: Any) -> None:
+                pass  # the metrics registry is the access log
+
+            def _reply(
+                self,
+                status: int,
+                body: dict[str, Any],
+                trace_id: str,
+                headers: dict[str, str] | None = None,
+            ) -> None:
+                data = json.dumps(body).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.send_header("X-Trace-Id", trace_id)
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(data)
+
+            def _error(
+                self, error: ServeError, trace_id: str
+            ) -> None:
+                headers = {}
+                if error.status == 429:
+                    headers["Retry-After"] = str(server._retry_after_s())
+                self._reply(
+                    error.status,
+                    {"error": str(error), "trace_id": trace_id},
+                    trace_id,
+                    headers,
+                )
+
+            def do_GET(self) -> None:
+                trace_id = uuid.uuid4().hex[:16]
+                if self.path == "/healthz":
+                    self._reply(200, server._health_body(), trace_id)
+                elif self.path == "/metricz":
+                    self._reply(200, server.service.metrics_dict(), trace_id)
+                elif self.path == "/v1/segment":
+                    self._error(ServeError(405, "use POST"), trace_id)
+                else:
+                    self._error(
+                        ServeError(404, f"no route {self.path!r}"), trace_id
+                    )
+
+            def do_POST(self) -> None:
+                trace_id = uuid.uuid4().hex[:16]
+                if self.path != "/v1/segment":
+                    self._error(
+                        ServeError(404, f"no route {self.path!r}"), trace_id
+                    )
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                    if length > server.service.config.max_body_bytes:
+                        raise ServeError(413, "request body too large")
+                    raw = self.rfile.read(length)
+                    try:
+                        payload = json.loads(raw.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+                        raise ServeError(400, f"bad JSON: {err}") from err
+                    job = server._submit(payload, trace_id)
+                    response = server._await(job)
+                except ServeError as error:
+                    self._error(error, trace_id)
+                    return
+                self._reply(200, response, trace_id)
+
+        return Handler
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start workers + the accept loop in background threads.
+
+        The in-process form the tests and benchmarks use; the CLI uses
+        the blocking :meth:`run` instead.
+        """
+        self._start_workers()
+        thread = threading.Thread(
+            target=self.httpd.serve_forever, name="serve-accept", daemon=True
+        )
+        thread.start()
+        self._accept_thread = thread
+
+    def shutdown(self, drain_timeout_s: float = 30.0) -> None:
+        """Graceful stop: refuse new work, finish queued work, join.
+
+        Safe to call more than once.
+        """
+        if self.draining.is_set():
+            return
+        self.draining.set()
+        deadline = time.monotonic() + drain_timeout_s
+        # Let queued jobs finish (workers skip expired ones anyway).
+        while self.queue.qsize() > 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        while self.in_flight() > 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        for _ in self._workers:
+            try:
+                self.queue.put_nowait(None)  # type: ignore[arg-type]
+            except queue.Full:
+                break
+        for worker in self._workers:
+            worker.join(timeout=max(deadline - time.monotonic(), 0.1))
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+    def run(self, out=None, install_signals: bool = True) -> int:
+        """Blocking CLI entry: serve until SIGTERM/SIGINT, drain, exit 0."""
+        stop = threading.Event()
+
+        def _on_signal(signum: int, frame: Any) -> None:
+            stop.set()
+
+        if install_signals:
+            signal.signal(signal.SIGTERM, _on_signal)
+            signal.signal(signal.SIGINT, _on_signal)
+        self.start()
+        if out is not None:
+            print(f"listening on {self.address}", file=out, flush=True)
+        try:
+            stop.wait()
+        except KeyboardInterrupt:
+            pass
+        if out is not None:
+            print("draining...", file=out, flush=True)
+        self.shutdown()
+        if out is not None:
+            print("stopped", file=out, flush=True)
+        return 0

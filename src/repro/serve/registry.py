@@ -1,0 +1,127 @@
+"""Per-site wrapper cache for the online segmentation service.
+
+The service's economics rest on one asymmetry: the full pipeline
+(template induction + detail matching + segmentation) costs seconds
+per site, while applying an already-induced
+:class:`~repro.wrapper.induce.RowWrapper` costs milliseconds.  The
+:class:`WrapperRegistry` is the ledger of that asymmetry — a
+thread-safe map ``(site, method) -> RowWrapper`` with two tiers:
+
+* **memory** — a plain dict behind one lock; every live request that
+  hits it skips the pipeline entirely;
+* **disk** (optional) — a content-addressed
+  :class:`~repro.runner.cache.StageCache` under the ``"wrapper"``
+  stage, so a restarted server warms up from its predecessor's work.
+  Wrappers cross the disk boundary in their JSON-safe
+  :func:`~repro.wrapper.serialize.wrapper_to_dict` form, so a stale
+  pickle of a renamed class can never resurrect; a malformed entry is
+  treated as a miss.
+
+Lookups and stores are booked into ``serve.registry.*`` counters
+(memory hits / disk hits / misses / stores / invalidations).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import Observability, current as current_obs
+from repro.runner.cache import StageCache, fingerprint
+from repro.wrapper.induce import RowWrapper
+from repro.wrapper.serialize import (
+    WrapperFormatError,
+    wrapper_from_dict,
+    wrapper_to_dict,
+)
+
+__all__ = ["WrapperRegistry"]
+
+#: StageCache stage name wrappers are stored under.
+WRAPPER_STAGE = "wrapper"
+
+
+class WrapperRegistry:
+    """Two-tier (memory + optional disk) cache of induced wrappers.
+
+    Args:
+        cache: disk tier; any :class:`StageCache`-shaped object with
+            ``load``/``store`` (None = memory only).
+        obs: observability bundle for ``serve.registry.*`` counters
+            (defaults to the installed bundle).
+    """
+
+    def __init__(
+        self,
+        cache: StageCache | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        self.cache = cache
+        self.obs = obs if obs is not None else current_obs()
+        self._lock = threading.Lock()
+        self._wrappers: dict[tuple[str, str], RowWrapper] = {}
+
+    @staticmethod
+    def _key(site_id: str, method: str) -> str:
+        return fingerprint("wrapper", site_id, method)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._wrappers)
+
+    def sites(self) -> list[str]:
+        """Site ids currently cached in memory, sorted."""
+        with self._lock:
+            return sorted({site for site, _ in self._wrappers})
+
+    def get(self, site_id: str, method: str) -> RowWrapper | None:
+        """The cached wrapper for ``(site_id, method)``, or None.
+
+        Checks memory first, then the disk tier; a disk hit is
+        promoted into memory.
+        """
+        with self._lock:
+            wrapper = self._wrappers.get((site_id, method))
+        if wrapper is not None:
+            self.obs.counter("serve.registry.memory_hits").inc()
+            return wrapper
+        if self.cache is not None:
+            found, data = self.cache.load(
+                WRAPPER_STAGE, self._key(site_id, method)
+            )
+            if found:
+                try:
+                    wrapper = wrapper_from_dict(data)
+                except WrapperFormatError:
+                    wrapper = None
+            if wrapper is not None:
+                self.obs.counter("serve.registry.disk_hits").inc()
+                with self._lock:
+                    self._wrappers[(site_id, method)] = wrapper
+                return wrapper
+        self.obs.counter("serve.registry.misses").inc()
+        return None
+
+    def put(self, site_id: str, method: str, wrapper: RowWrapper) -> None:
+        """Cache ``wrapper`` in memory and, when wired, on disk."""
+        with self._lock:
+            self._wrappers[(site_id, method)] = wrapper
+        if self.cache is not None:
+            self.cache.store(
+                WRAPPER_STAGE,
+                self._key(site_id, method),
+                wrapper_to_dict(wrapper),
+            )
+        self.obs.counter("serve.registry.stores").inc()
+
+    def invalidate(self, site_id: str, method: str) -> bool:
+        """Drop the memory entry (the disk tier keeps history).
+
+        Returns whether an entry was present.  Used when drift is
+        detected: the stale wrapper must not serve another request
+        even if re-induction fails.
+        """
+        with self._lock:
+            present = self._wrappers.pop((site_id, method), None) is not None
+        if present:
+            self.obs.counter("serve.registry.invalidations").inc()
+        return present

@@ -1,0 +1,339 @@
+"""The online segmentation service's request logic (transport-free).
+
+:class:`SegmentationService` is everything ``POST /v1/segment`` does,
+with no HTTP anywhere in sight — the unit tests and the benchmark
+drive it directly, and :mod:`repro.serve.http` merely moves JSON in
+and out of it.  One request flows::
+
+    payload ──▶ parse (schema.pages_from_payload)
+        │
+        ▼
+    WrapperRegistry.get(site, method)
+        │ hit                                   │ miss
+        ▼                                       ▼
+    apply_wrapper per list page            full pipeline
+        │                                  (SegmentationPipeline)
+        ▼                                       │
+    drift check (wrapped_page_quality)          ▼
+        │ healthy        │ drifted ───────▶ induce_wrapper
+        ▼                                       │ + registry.put
+    records from rows                           ▼
+        ("path": "wrapper")             apply induced wrapper
+                                        to the request's pages
+                                        ("path": "pipeline")
+
+The cold path *also* answers from the freshly-induced wrapper (falling
+back to the raw segmentation only when induction fails): both paths
+therefore serialize the same deterministic function of the page, which
+is what makes cold and warm responses byte-identical for an unchanged
+site — the end-to-end acceptance check.
+
+Thread safety: one service instance is shared by every worker thread.
+The registry locks internally, the metrics registry is thread-safe,
+and each request gets its own private span tree
+(:class:`~repro.obs.Observability` with the *shared* metrics
+registry), because a tracer's span stack must not interleave across
+threads.
+
+Counters (see ``docs/observability.md``): ``serve.requests``,
+``serve.wrapper_hits``, ``serve.pipeline_runs``, ``serve.fallbacks``
+(drift-triggered), ``serve.reinductions``, ``serve.errors``; the
+``serve.request.seconds`` histogram tracks latency.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.config import METHODS
+from repro.core.exceptions import ConfigError, ExtractionError, ReproError
+from repro.core.pipeline import SegmentationPipeline, SiteRun
+from repro.crawl.resilient import CrawlBudget
+from repro.obs import MetricsRegistry, Observability
+from repro.runner.cache import StageCache
+from repro.serve.drift import DriftVerdict, wrapped_page_quality
+from repro.serve.registry import WrapperRegistry
+from repro.serve.schema import (
+    PayloadError,
+    pages_from_payload,
+    segmentation_records,
+    wrapped_row_records,
+)
+from repro.webdoc.page import Page
+from repro.wrapper.apply import apply_wrapper
+from repro.wrapper.induce import RowWrapper, induce_wrapper
+
+__all__ = ["ServeError", "ServiceConfig", "SegmentationService"]
+
+
+class ServeError(ReproError):
+    """A request the service refuses, with its HTTP status.
+
+    Attributes:
+        status: the HTTP status code the transport should emit.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the online service (capacity knobs in docs/serving.md).
+
+    Attributes:
+        method: default segmentation method when a payload names none.
+        drift_threshold: wrapper quality below this triggers the
+            pipeline fallback + re-induction.
+        wrapper_cache_dir: disk tier for the wrapper registry (None =
+            memory only).
+        wrapper_cache_max_bytes: LRU size bound of that disk tier.
+        request_budget: per-request spending limits, reusing the crawl
+            layer's :class:`~repro.crawl.resilient.CrawlBudget`:
+            ``deadline_s`` is the wall-clock deadline after which a
+            queued or running request is answered 504.
+        workers: worker-thread count (used by the HTTP layer).
+        max_queue: admission-control queue depth (HTTP layer); a full
+            queue answers 429 with a Retry-After hint.
+        max_body_bytes: request bodies above this are refused (413).
+    """
+
+    method: str = "prob"
+    drift_threshold: float = 0.5
+    wrapper_cache_dir: str | None = None
+    wrapper_cache_max_bytes: int | None = None
+    request_budget: CrawlBudget = field(
+        default_factory=lambda: CrawlBudget(deadline_s=60.0)
+    )
+    workers: int = 2
+    max_queue: int = 8
+    max_body_bytes: int = 16 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ConfigError(f"unknown default method {self.method!r}")
+        if not 0.0 <= self.drift_threshold <= 1.0:
+            raise ConfigError("drift_threshold must lie in [0, 1]")
+        if self.workers < 1 or self.max_queue < 1:
+            raise ConfigError("workers and max_queue must be >= 1")
+
+
+class SegmentationService:
+    """Segment request payloads, caching one wrapper per site.
+
+    Args:
+        config: service knobs.
+        metrics: shared thread-safe registry exported by ``/metricz``
+            (one is created if omitted).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.started_at = time.time()
+        cache = None
+        if self.config.wrapper_cache_dir is not None:
+            cache = StageCache(
+                self.config.wrapper_cache_dir,
+                obs=self._request_obs(),
+                max_bytes=self.config.wrapper_cache_max_bytes,
+            )
+        self.registry = WrapperRegistry(cache=cache, obs=self._request_obs())
+
+    def _request_obs(self) -> Observability:
+        """A per-request bundle: private span stack, shared metrics."""
+        return Observability(metrics=self.metrics, keep_spans=False)
+
+    # -- request handling ----------------------------------------------------
+
+    def segment(self, payload: Any, trace_id: str | None = None) -> dict[str, Any]:
+        """Handle one ``/v1/segment`` payload; returns the response dict.
+
+        Raises:
+            ServeError: refused requests, carrying the HTTP status
+                (400 malformed payload, 500 internal failure).
+        """
+        obs = self._request_obs()
+        trace_id = trace_id or uuid.uuid4().hex[:16]
+        started = time.perf_counter()
+        obs.counter("serve.requests").inc()
+        try:
+            with obs.span("serve.request"):
+                response = self._segment(payload, obs)
+        except ServeError:
+            obs.counter("serve.errors").inc()
+            raise
+        except PayloadError as error:
+            obs.counter("serve.errors").inc()
+            raise ServeError(400, str(error)) from error
+        except ReproError as error:
+            obs.counter("serve.errors").inc()
+            raise ServeError(
+                500, f"{type(error).__name__}: {error}"
+            ) from error
+        elapsed = time.perf_counter() - started
+        obs.histogram("serve.request.seconds").observe(elapsed)
+        response["trace_id"] = trace_id
+        response["elapsed_s"] = round(elapsed, 6)
+        return response
+
+    def _segment(self, payload: Any, obs: Observability) -> dict[str, Any]:
+        if isinstance(payload, dict) and "_sleep" in payload:
+            # Test hook (cf. the runner's ``_sleep`` task kind): hold a
+            # worker for a bounded time so admission-control and
+            # deadline tests can saturate the queue deterministically.
+            seconds = min(float(payload["_sleep"]), 30.0)
+            time.sleep(max(seconds, 0.0))
+            return {"path": "sleep", "slept_s": seconds, "pages": [],
+                    "record_count": 0}
+        site_id, list_pages, details = pages_from_payload(payload)
+        method = payload.get("method") or self.config.method
+        if method not in METHODS:
+            raise ServeError(
+                400, f"unknown method {method!r}; pick from {METHODS}"
+            )
+
+        wrapper = self.registry.get(site_id, method)
+        drift: DriftVerdict | None = None
+        if wrapper is not None:
+            with obs.span("serve.apply", site=site_id):
+                pages, drift = self._apply(wrapper, list_pages, details)
+            if not drift.drifted:
+                obs.counter("serve.wrapper_hits").inc()
+                return self._response(
+                    site_id, method, "wrapper", pages, drift, cached=True
+                )
+            obs.counter("serve.fallbacks").inc()
+
+        run, wrapper = self._run_pipeline(
+            site_id, method, list_pages, details, obs,
+            reinduced=drift is not None,
+        )
+        if wrapper is not None:
+            with obs.span("serve.apply", site=site_id):
+                pages, _ = self._apply(wrapper, list_pages, details)
+        else:
+            pages = self._pages_from_run(run)
+        return self._response(
+            site_id, method, "pipeline", pages, drift,
+            cached=False, induced=wrapper is not None,
+        )
+
+    def _apply(
+        self,
+        wrapper: RowWrapper,
+        list_pages: list[Page],
+        details: list[list[Page]],
+    ) -> tuple[list[dict[str, Any]], DriftVerdict]:
+        """Wrapper-extract every list page + judge output quality."""
+        pages: list[dict[str, Any]] = []
+        scores: list[float] = []
+        for list_page, detail_pages in zip(list_pages, details):
+            rows = apply_wrapper(wrapper, list_page)
+            scores.append(wrapped_page_quality(rows, detail_pages))
+            pages.append(
+                {
+                    "url": list_page.url,
+                    "records": wrapped_row_records(rows),
+                    "record_count": len(rows),
+                }
+            )
+        score = sum(scores) / len(scores) if scores else 0.0
+        return pages, DriftVerdict(
+            score=score, threshold=self.config.drift_threshold
+        )
+
+    def _run_pipeline(
+        self,
+        site_id: str,
+        method: str,
+        list_pages: list[Page],
+        details: list[list[Page]],
+        obs: Observability,
+        reinduced: bool,
+    ) -> tuple[SiteRun, RowWrapper | None]:
+        """Full pipeline + wrapper (re-)induction and registration."""
+        obs.counter("serve.pipeline_runs").inc()
+        with obs.span("serve.pipeline", site=site_id, method=method):
+            pipeline = SegmentationPipeline(method, obs=obs)
+            run = pipeline.segment_site(list_pages, details)
+        wrapper = None
+        sample = next(
+            (page for page in run.pages if page.segmentation.records), None
+        )
+        if sample is not None:
+            try:
+                with obs.span("serve.induce", site=site_id):
+                    wrapper = induce_wrapper(sample, run.template_verdict)
+            except ExtractionError:
+                wrapper = None
+        if wrapper is not None:
+            self.registry.put(site_id, method, wrapper)
+            if reinduced:
+                obs.counter("serve.reinductions").inc()
+        elif reinduced:
+            # Drifted and could not re-induce: the stale wrapper must
+            # not answer the next request either.
+            self.registry.invalidate(site_id, method)
+        return run, wrapper
+
+    @staticmethod
+    def _pages_from_run(run: SiteRun) -> list[dict[str, Any]]:
+        return [
+            {
+                "url": page_run.page.url,
+                "records": segmentation_records(page_run.segmentation),
+                "record_count": len(page_run.segmentation.records),
+            }
+            for page_run in run.pages
+        ]
+
+    def _response(
+        self,
+        site_id: str,
+        method: str,
+        path: str,
+        pages: list[dict[str, Any]],
+        drift: DriftVerdict | None,
+        cached: bool,
+        induced: bool | None = None,
+    ) -> dict[str, Any]:
+        response: dict[str, Any] = {
+            "site": site_id,
+            "method": method,
+            "path": path,
+            "pages": pages,
+            "record_count": sum(page["record_count"] for page in pages),
+            "wrapper": {
+                "cached": cached,
+                "induced": bool(induced) if induced is not None else cached,
+            },
+        }
+        if drift is not None:
+            response["drift"] = drift.as_dict()
+        return response
+
+    # -- introspection endpoints ---------------------------------------------
+
+    def health(self, **transport: Any) -> dict[str, Any]:
+        """The ``/healthz`` body; the HTTP layer adds queue facts."""
+        body = {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "sites_cached": len(self.registry),
+            "method": self.config.method,
+        }
+        body.update(transport)
+        return body
+
+    def metrics_dict(self) -> dict[str, Any]:
+        """The ``/metricz`` body: the shared registry's snapshot."""
+        return self.metrics.as_dict()

@@ -9,15 +9,27 @@ list pages of the same site *without fetching any detail pages*.
 (This is the wrapper the paper's own wrapper-induction lineage, Lerman
 et al. JAIR 2003, would maintain; here it is bootstrapped fully
 automatically.)
+
+Wrappers also cross process and disk boundaries (the online service
+caches one per site): :mod:`~repro.wrapper.serialize` flattens them
+to JSON-safe dicts and back, with a versioned format guard.
 """
 
 from repro.wrapper.apply import WrappedRow, apply_wrapper, score_wrapped_rows
 from repro.wrapper.induce import RowWrapper, induce_wrapper
+from repro.wrapper.serialize import (
+    WrapperFormatError,
+    wrapper_from_dict,
+    wrapper_to_dict,
+)
 
 __all__ = [
     "RowWrapper",
     "WrappedRow",
+    "WrapperFormatError",
     "apply_wrapper",
     "induce_wrapper",
     "score_wrapped_rows",
+    "wrapper_from_dict",
+    "wrapper_to_dict",
 ]

@@ -1,0 +1,104 @@
+"""JSON-safe serialization of :class:`~repro.wrapper.induce.RowWrapper`.
+
+A wrapper is the unit the online serving layer caches per site: it has
+to survive a round trip through the on-disk
+:class:`~repro.runner.cache.StageCache` (and, being plain JSON-ready
+data, through any other store) without depending on pickle's class
+identity.  ``wrapper_to_dict`` therefore flattens the wrapper into
+primitives only — the template's aligned tokens as
+``{text, positions, is_html}`` dicts, the column profiles as nested
+lists — and ``wrapper_from_dict`` rebuilds a structurally identical
+:class:`RowWrapper`.
+
+A ``version`` field guards the format: loading a dict written by an
+incompatible future layout raises :class:`WrapperFormatError` instead
+of resurrecting a subtly wrong wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.exceptions import ReproError
+from repro.template.alignment import AlignedToken
+from repro.template.model import PageTemplate
+from repro.wrapper.induce import RowWrapper
+
+__all__ = ["WrapperFormatError", "wrapper_from_dict", "wrapper_to_dict"]
+
+#: Current on-disk wrapper format version.
+WRAPPER_FORMAT_VERSION = 1
+
+
+class WrapperFormatError(ReproError):
+    """A serialized wrapper is malformed or from an unknown version."""
+
+
+def wrapper_to_dict(wrapper: RowWrapper) -> dict[str, Any]:
+    """Flatten ``wrapper`` into JSON-compatible primitives."""
+    return {
+        "version": WRAPPER_FORMAT_VERSION,
+        "table_slot_id": wrapper.table_slot_id,
+        "boundary": list(wrapper.boundary),
+        "column_profiles": [
+            [float(value) for value in row] for row in wrapper.column_profiles
+        ],
+        "template": {
+            "page_count": wrapper.template.page_count,
+            "aligned": [
+                {
+                    "text": token.text,
+                    "positions": list(token.positions),
+                    "is_html": token.is_html,
+                }
+                for token in wrapper.template.aligned
+            ],
+        },
+    }
+
+
+def wrapper_from_dict(data: dict[str, Any]) -> RowWrapper:
+    """Rebuild a :class:`RowWrapper` from its :func:`wrapper_to_dict` form.
+
+    Raises:
+        WrapperFormatError: unknown version or missing/malformed fields.
+    """
+    if not isinstance(data, dict):
+        raise WrapperFormatError(f"expected a dict, got {type(data).__name__}")
+    version = data.get("version")
+    if version != WRAPPER_FORMAT_VERSION:
+        raise WrapperFormatError(
+            f"unsupported wrapper format version {version!r} "
+            f"(expected {WRAPPER_FORMAT_VERSION})"
+        )
+    try:
+        template_data = data["template"]
+        aligned = tuple(
+            AlignedToken(
+                text=str(token["text"]),
+                positions=tuple(int(p) for p in token["positions"]),
+                is_html=bool(token["is_html"]),
+            )
+            for token in template_data["aligned"]
+        )
+        template = PageTemplate(
+            aligned=aligned, page_count=int(template_data["page_count"])
+        )
+        slot = data["table_slot_id"]
+        profiles = np.asarray(data["column_profiles"], dtype=float)
+        if profiles.size and profiles.ndim != 2:
+            raise WrapperFormatError(
+                f"column_profiles must be 2-D, got shape {profiles.shape}"
+            )
+        return RowWrapper(
+            template=template,
+            table_slot_id=None if slot is None else int(slot),
+            boundary=tuple(str(tag) for tag in data["boundary"]),
+            column_profiles=profiles,
+        )
+    except WrapperFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise WrapperFormatError(f"malformed wrapper dict: {error}") from error

@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 import io
+import json
+import tomllib
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 
@@ -27,6 +31,54 @@ class TestParser:
     def test_unknown_method_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["segment", "ohio", "--method", "x"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 2
+        assert args.max_queue == 8
+        assert args.method == "prob"
+        assert args.wrapper_cache_dir is None
+        assert args.deadline == 60.0
+        assert args.drift_threshold == 0.5
+
+    def test_serve_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--workers", "4",
+                "--max-queue", "16", "--wrapper-cache-dir", "/tmp/w",
+                "--drift-threshold", "0.8",
+            ]
+        )
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.max_queue == 16
+        assert args.wrapper_cache_dir == "/tmp/w"
+        assert args.drift_threshold == 0.8
+
+    def test_serve_rejects_zero_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--workers", "0"])
+
+    def test_serve_rejects_out_of_range_drift_threshold(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--drift-threshold", "1.5"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_matches_pyproject(self):
+        pyproject = (
+            Path(__file__).resolve().parent.parent / "pyproject.toml"
+        )
+        metadata = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+        assert repro.__version__ == metadata["project"]["version"]
 
 
 class TestSites:
@@ -73,6 +125,69 @@ class TestSegment:
         first = run_cli(*args)
         second = run_cli(*args)
         assert first[1].splitlines()[0] == second[1].splitlines()[0]
+
+
+class TestSegmentJson:
+    def test_json_summary_shape(self):
+        code, output = run_cli("segment", "lee", "--method", "csp", "--json")
+        summary = json.loads(output)  # whole output is one JSON document
+        assert code == 0
+        assert summary["site"] == "lee"
+        assert summary["method"] == "csp"
+        assert summary["exit_code"] == 0
+        assert summary["record_count"] > 0
+        assert summary["template_ok"] is True
+        for page in summary["pages"]:
+            assert set(page) >= {"url", "records", "record_count"}
+            for record in page["records"]:
+                assert set(record) == {"texts", "columns"}
+
+    def test_json_exit_code_matches_text_mode(self):
+        text_code, _ = run_cli("segment", "michigan", "--method", "csp")
+        json_code, output = run_cli(
+            "segment", "michigan", "--method", "csp", "--json"
+        )
+        summary = json.loads(output)
+        assert json_code == text_code == 1
+        assert summary["exit_code"] == 1
+
+    def test_json_records_match_service_shape(self):
+        # The CLI and POST /v1/segment share one serializer; the record
+        # dicts must be interchangeable.
+        _, output = run_cli("segment", "lee", "--method", "prob", "--json")
+        summary = json.loads(output)
+        texts = [
+            record["texts"]
+            for page in summary["pages"]
+            for record in page["records"]
+        ]
+        assert texts and all(
+            isinstance(text, str) for row in texts for text in row
+        )
+
+    def test_segment_dir_json(self, tmp_path):
+        from repro.sitegen.corpus import build_site
+        from repro.webdoc.store import save_sample
+
+        site = build_site("lee")
+        save_sample(
+            tmp_path / "lee",
+            "lee",
+            site.list_pages,
+            [site.detail_pages(i) for i in range(len(site.list_pages))],
+        )
+        code, output = run_cli(
+            "segment-dir", str(tmp_path), "--method", "csp", "--json"
+        )
+        summary = json.loads(output)
+        assert code == 0
+        assert summary["exit_code"] == 0
+        assert summary["method"] == "csp"
+        assert summary["by_status"] == {"ok": 1}
+        (entry,) = summary["sites"]
+        assert entry["task_id"] == "lee"
+        assert entry["status"] == "ok"
+        assert entry["record_count"] > 0
 
 
 class TestShow:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import pytest
@@ -102,6 +103,88 @@ class TestStageCache:
         entry.write_bytes(entry.read_bytes()[:10])
         fresh = StageCache(tmp_path)
         assert fresh.get_or_compute("s", ("k",), lambda: "new") == "new"
+
+
+class TestEviction:
+    """Size-bounded (``max_bytes``) LRU behavior."""
+
+    @staticmethod
+    def _age(cache, stage, key, age_s):
+        """Backdate an entry's mtime so LRU order is deterministic."""
+        path = cache._path(stage, key)
+        stamp = path.stat().st_mtime - age_s
+        os.utime(path, (stamp, stamp))
+
+    def test_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            StageCache(tmp_path, max_bytes=0)
+        StageCache(tmp_path, max_bytes=1)  # minimum accepted
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = StageCache(tmp_path)
+        for index in range(20):
+            cache.store("s", cache.key("s", (index,)), b"x" * 512)
+        assert len(cache._entries()) == 20
+        assert cache.stats.evictions == 0
+
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        # Entries are ~560 bytes each (checksum + pickled payload);
+        # a 2000-byte budget holds three of them.
+        cache = StageCache(tmp_path, max_bytes=2000)
+        keys = [cache.key("s", (index,)) for index in range(4)]
+        for age, key in zip((30, 20, 10), keys[:3]):
+            cache.store("s", key, b"x" * 512)
+            self._age(cache, "s", key, age)
+        cache.store("s", keys[3], b"x" * 512)
+        found = [cache.load("s", key)[0] for key in keys]
+        # keys[0] (the oldest) was evicted to make room for keys[3].
+        assert found == [False, True, True, True]
+        assert cache.stats.evictions == 1
+        assert cache.total_bytes() <= 2000
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = StageCache(tmp_path, max_bytes=2000)
+        keys = [cache.key("s", (index,)) for index in range(4)]
+        for age, key in zip((30, 20, 10), keys[:3]):
+            cache.store("s", key, b"x" * 512)
+            self._age(cache, "s", key, age)
+        # Touch the oldest entry: the load bumps its mtime, so the
+        # next eviction takes keys[1] instead.
+        assert cache.load("s", keys[0]) == (True, b"x" * 512)
+        cache.store("s", keys[3], b"x" * 512)
+        found = [cache.load("s", key)[0] for key in keys]
+        assert found == [True, False, True, True]
+
+    def test_budget_smaller_than_one_entry(self, tmp_path):
+        cache = StageCache(tmp_path, max_bytes=64)
+        key = cache.key("s", ("big",))
+        cache.store("s", key, b"x" * 4096)
+        # Even the just-written entry goes when it alone busts the
+        # budget: a bounded cache never grows past its bound.
+        assert cache.load("s", key) == (False, None)
+        assert cache.stats.evictions == 1
+
+    def test_evictions_metric_booked(self, tmp_path):
+        from repro.obs import MetricsRegistry, Observability
+
+        metrics = MetricsRegistry()
+        cache = StageCache(
+            tmp_path,
+            obs=Observability(metrics=metrics, keep_spans=False),
+            max_bytes=1200,
+        )
+        for index in range(4):
+            cache.store("s", cache.key("s", (index,)), b"x" * 512)
+        counters = metrics.as_dict()["counters"]
+        assert counters["runner.cache.evictions"] == cache.stats.evictions
+        assert cache.stats.evictions >= 2
+
+    def test_get_or_compute_respects_budget(self, tmp_path):
+        cache = StageCache(tmp_path, max_bytes=2000)
+        for index in range(10):
+            cache.get_or_compute("s", (index,), lambda: b"x" * 512)
+        assert cache.total_bytes() <= 2000
+        assert cache.stats.evictions > 0
 
 
 class TestPipelineCaching:

@@ -1,0 +1,222 @@
+"""End-to-end tests of the HTTP serving layer.
+
+Drives a real in-process :class:`~repro.serve.http.SegmentationServer`
+(ephemeral port) through :class:`~repro.serve.client.ServeClient` —
+actual sockets, actual JSON.  Includes the issue's acceptance test:
+same site twice (cold ``"pipeline"`` then warm ``"wrapper"`` with
+identical records), a redesigned page triggering drift fallback and
+re-induction, and ``/metricz`` reporting the matching counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import threading
+import time
+import urllib.error
+
+import pytest
+
+from repro.crawl.resilient import CrawlBudget
+from repro.serve import (
+    SegmentationServer,
+    SegmentationService,
+    ServeClient,
+    ServiceConfig,
+    payload_from_pages,
+)
+from repro.sitegen.corpus import build_site
+from repro.sitegen.site import GeneratedSite, RowLayout
+
+
+def site_payload(site, name):
+    return payload_from_pages(
+        name,
+        site.list_pages,
+        [site.detail_pages(index) for index in range(len(site.list_pages))],
+    )
+
+
+@pytest.fixture()
+def server_factory():
+    """Build servers on ephemeral ports; tear them all down after."""
+    servers = []
+
+    def build(config: ServiceConfig) -> tuple[SegmentationServer, ServeClient]:
+        server = SegmentationServer(SegmentationService(config), port=0)
+        servers.append(server)
+        server.start()
+        return server, ServeClient(server.address, timeout_s=120.0)
+
+    yield build
+    for server in servers:
+        server.shutdown(drain_timeout_s=5.0)
+
+
+def test_acceptance_cold_warm_drift(server_factory):
+    """The issue's end-to-end criterion, over real HTTP."""
+    _, client = server_factory(ServiceConfig(method="prob"))
+    site = build_site("ohio")
+    payload = site_payload(site, "ohio")
+
+    cold = client.segment(payload)
+    assert cold.status == 200
+    assert cold.body["path"] == "pipeline"
+    assert cold.body["record_count"] > 0
+    assert cold.headers.get("X-Trace-Id") == cold.body["trace_id"]
+
+    warm = client.segment(payload)
+    assert warm.status == 200
+    assert warm.body["path"] == "wrapper"
+    assert warm.body["pages"] == cold.body["pages"]
+
+    # A site redesign: same site name, different row layout.
+    redesigned = GeneratedSite(
+        dataclasses.replace(site.spec, layout=RowLayout.BLOCKS)
+    )
+    drifted = client.segment(site_payload(redesigned, "ohio"))
+    assert drifted.status == 200
+    assert drifted.body["path"] == "pipeline"
+    assert drifted.body["drift"]["drifted"]
+    assert drifted.body["record_count"] > 0
+
+    # Re-induction: the new layout is warm on the next request.
+    healed = client.segment(site_payload(redesigned, "ohio"))
+    assert healed.status == 200
+    assert healed.body["path"] == "wrapper"
+
+    metricz = client.metricz()
+    assert metricz.status == 200
+    counters = metricz.body["counters"]
+    assert counters["serve.requests"] == 4
+    assert counters["serve.wrapper_hits"] == 2
+    assert counters["serve.fallbacks"] == 1
+    assert counters["serve.pipeline_runs"] == 2
+    assert counters["serve.reinductions"] == 1
+    assert "serve.request.seconds" in metricz.body["histograms"]
+
+    health = client.healthz()
+    assert health.status == 200
+    assert health.body["status"] == "ok"
+    assert health.body["sites_cached"] == 1
+
+
+def test_queue_saturation_answers_429(server_factory):
+    server, client = server_factory(
+        ServiceConfig(workers=1, max_queue=1)
+    )
+    release = threading.Event()
+    statuses: list[int] = []
+    lock = threading.Lock()
+
+    def fire():
+        response = client.sleep(1.0)
+        with lock:
+            statuses.append(response.status)
+        release.set()
+
+    threads = [threading.Thread(target=fire) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # 1 in flight + 1 queued; the other two are shed at the door.
+    assert sorted(statuses) == [200, 200, 429, 429]
+    rejected = server.service.metrics.counter("serve.rejected")
+    assert rejected.value == 2
+
+
+def test_429_carries_retry_after(server_factory):
+    _, client = server_factory(ServiceConfig(workers=1, max_queue=1))
+    responses = []
+    threads = [
+        threading.Thread(target=lambda: responses.append(client.sleep(0.8)))
+        for _ in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    rejected = [r for r in responses if r.status == 429]
+    assert rejected
+    for response in rejected:
+        assert int(response.headers["Retry-After"]) >= 1
+
+
+def test_deadline_answers_504(server_factory):
+    config = ServiceConfig(
+        workers=1, max_queue=2, request_budget=CrawlBudget(deadline_s=0.2)
+    )
+    server, client = server_factory(config)
+    response = client.sleep(2.0)
+    assert response.status == 504
+    assert server.service.metrics.counter("serve.deadline_hits").value >= 1
+
+
+def test_bad_json_answers_400(server_factory):
+    server, client = server_factory(ServiceConfig())
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+    conn.request(
+        "POST",
+        "/v1/segment",
+        body=b"{not json",
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    assert response.status == 400
+    conn.close()
+
+
+def test_malformed_payload_answers_400(server_factory):
+    _, client = server_factory(ServiceConfig())
+    response = client.segment({"site": "x"})
+    assert response.status == 400
+    assert "error" in response.body
+
+
+def test_oversized_body_answers_413(server_factory):
+    _, client = server_factory(
+        ServiceConfig(max_body_bytes=64)
+    )
+    response = client.segment({"site": "x", "pages": [{"list": "y" * 200}]})
+    assert response.status == 413
+
+
+def test_unknown_routes(server_factory):
+    _, client = server_factory(ServiceConfig())
+    assert client._request("/nope").status == 404
+    assert client._request("/v1/segment").status == 405  # GET on POST route
+
+
+def test_graceful_shutdown_drains(server_factory):
+    server, client = server_factory(ServiceConfig(workers=1, max_queue=4))
+    results: list[int] = []
+
+    def slow():
+        results.append(client.sleep(0.5).status)
+
+    thread = threading.Thread(target=slow)
+    thread.start()
+    # Let the job reach a worker before we start draining.
+    for _ in range(100):
+        if server.in_flight() or server.queue_depth():
+            break
+        time.sleep(0.01)
+    server.shutdown(drain_timeout_s=10.0)
+    thread.join()
+    # The in-flight request finished despite shutdown...
+    assert results == [200]
+    # ...and the socket is closed afterwards.
+    with pytest.raises(urllib.error.URLError):
+        client.healthz()
+
+
+def test_draining_server_refuses_new_segments(server_factory):
+    server, client = server_factory(ServiceConfig())
+    server.draining.set()
+    refused = client.segment({"_sleep": 0.0})
+    assert refused.status == 503
+    health = client.healthz()
+    assert health.status == 200
+    assert health.body["status"] == "draining"

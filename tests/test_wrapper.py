@@ -1,9 +1,11 @@
-"""Tests for wrapper induction and application."""
+"""Tests for wrapper induction, application and serialization."""
 
 from __future__ import annotations
 
 import dataclasses
+import json
 
+import numpy as np
 import pytest
 
 from repro.core.exceptions import ExtractionError
@@ -16,6 +18,12 @@ from repro.wrapper import (
     apply_wrapper,
     induce_wrapper,
     score_wrapped_rows,
+)
+from repro.wrapper.serialize import (
+    WRAPPER_FORMAT_VERSION,
+    WrapperFormatError,
+    wrapper_from_dict,
+    wrapper_to_dict,
 )
 
 
@@ -97,3 +105,67 @@ class TestApply:
         rows = apply_wrapper(wrapper, site.list_pages[2])
         correct, total = score_wrapped_rows(rows, site.truth[2])
         assert correct >= total - 1
+
+
+class TestSerialize:
+    def test_dict_form_is_json_safe(self, trained):
+        _, _, wrapper = trained
+        data = wrapper_to_dict(wrapper)
+        # The whole point of the dict form: it survives JSON, which is
+        # what the disk-backed wrapper registry relies on.
+        assert json.loads(json.dumps(data)) == data
+        assert data["version"] == WRAPPER_FORMAT_VERSION
+
+    def test_round_trip_preserves_structure(self, trained):
+        _, _, wrapper = trained
+        revived = wrapper_from_dict(wrapper_to_dict(wrapper))
+        assert revived.table_slot_id == wrapper.table_slot_id
+        assert revived.boundary == wrapper.boundary
+        assert revived.template.page_count == wrapper.template.page_count
+        assert revived.template.aligned == wrapper.template.aligned
+        assert np.array_equal(
+            revived.column_profiles, wrapper.column_profiles
+        )
+
+    def test_round_trip_extracts_identically(self, trained):
+        site, _, wrapper = trained
+        revived = wrapper_from_dict(
+            json.loads(json.dumps(wrapper_to_dict(wrapper)))
+        )
+        original = apply_wrapper(wrapper, site.list_pages[2])
+        rebuilt = apply_wrapper(revived, site.list_pages[2])
+        assert [row.texts for row in rebuilt] == [
+            row.texts for row in original
+        ]
+        assert [row.columns for row in rebuilt] == [
+            row.columns for row in original
+        ]
+
+    def test_unknown_version_rejected(self, trained):
+        _, _, wrapper = trained
+        data = wrapper_to_dict(wrapper)
+        data["version"] = WRAPPER_FORMAT_VERSION + 1
+        with pytest.raises(WrapperFormatError):
+            wrapper_from_dict(data)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("template"),
+            lambda d: d.pop("boundary"),
+            lambda d: d.pop("column_profiles"),
+            lambda d: d["template"].pop("aligned"),
+            lambda d: d["template"]["aligned"][0].pop("positions"),
+            lambda d: d.__setitem__("column_profiles", "oops"),
+        ],
+    )
+    def test_malformed_dict_rejected(self, trained, mutate):
+        _, _, wrapper = trained
+        data = wrapper_to_dict(wrapper)
+        mutate(data)
+        with pytest.raises(WrapperFormatError):
+            wrapper_from_dict(data)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(WrapperFormatError):
+            wrapper_from_dict(["not", "a", "dict"])

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of ``repro serve`` as a real OS process.
+
+What the in-process tests cannot prove, this does: the CLI entry
+point, signal handling, and socket behavior of an actual server
+process.  The script
+
+1. starts ``python -m repro serve --port 0 --workers 1 --max-queue 1``
+   and reads the bound address from its stdout;
+2. checks ``/healthz``;
+3. segments a generated site twice — the first response must take the
+   ``"pipeline"`` path, the second the ``"wrapper"`` path with
+   identical records;
+4. saturates the one-worker queue with held requests and expects 429s
+   with a ``Retry-After`` header;
+5. checks the ``serve.*`` counters on ``/metricz``;
+6. sends SIGTERM and expects a graceful drain and exit code 0.
+
+Exits non-zero on the first failed expectation.  Run from the repo
+root (CI does)::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from repro.serve.client import ServeClient, payload_from_pages
+from repro.sitegen.corpus import build_site
+
+START_TIMEOUT_S = 30.0
+EXIT_TIMEOUT_S = 30.0
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"ok: {message}")
+
+
+def start_server() -> tuple[subprocess.Popen, str]:
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--workers", "1", "--max-queue", "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + START_TIMEOUT_S
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            fail(f"server exited early with code {process.returncode}")
+        match = re.search(r"listening on (http://\S+)", line)
+        if match:
+            return process, match.group(1)
+    process.kill()
+    fail("server never reported its address")
+    raise AssertionError  # unreachable
+
+
+def main() -> int:
+    process, address = start_server()
+    print(f"server up at {address}")
+    client = ServeClient(address, timeout_s=120.0)
+    try:
+        health = client.healthz()
+        check(health.status == 200, "/healthz answers 200")
+        check(health.body["status"] == "ok", "/healthz reports ok")
+
+        site = build_site("ohio")
+        payload = payload_from_pages(
+            "ohio",
+            site.list_pages,
+            [site.detail_pages(i) for i in range(len(site.list_pages))],
+        )
+        cold = client.segment(payload)
+        check(cold.status == 200, "cold request answers 200")
+        check(
+            cold.body["path"] == "pipeline",
+            "cold request takes the pipeline path",
+        )
+        check(cold.body["record_count"] > 0, "cold request finds records")
+
+        warm = client.segment(payload)
+        check(warm.status == 200, "warm request answers 200")
+        check(
+            warm.body["path"] == "wrapper",
+            "warm request takes the wrapper path",
+        )
+        check(
+            warm.body["pages"] == cold.body["pages"],
+            "warm records identical to cold records",
+        )
+
+        # Saturate: 1 worker + 1 queue slot, 4 held requests.
+        responses = []
+        lock = threading.Lock()
+
+        def held():
+            response = client.sleep(1.0)
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=held) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        statuses = sorted(r.status for r in responses)
+        check(
+            statuses == [200, 200, 429, 429],
+            f"saturation sheds load at the door (statuses={statuses})",
+        )
+        rejected = [r for r in responses if r.status == 429]
+        check(
+            all("Retry-After" in r.headers for r in rejected),
+            "429 responses carry Retry-After",
+        )
+
+        metricz = client.metricz()
+        counters = metricz.body["counters"]
+        check(metricz.status == 200, "/metricz answers 200")
+        check(counters.get("serve.requests", 0) >= 4, "serve.requests counted")
+        check(
+            counters.get("serve.wrapper_hits") == 1,
+            "serve.wrapper_hits counted",
+        )
+        check(
+            counters.get("serve.pipeline_runs") == 1,
+            "serve.pipeline_runs counted",
+        )
+        check(counters.get("serve.rejected") == 2, "serve.rejected counted")
+
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=EXIT_TIMEOUT_S)
+        check(code == 0, f"graceful shutdown exits 0 (got {code})")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+    print("serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
