@@ -180,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="methods to evaluate",
     )
     table4.add_argument(
+        "--cache-dir",
+        default=None,
+        help="stage-cache root; warm re-runs skip unchanged stages",
+    )
+    table4.add_argument(
         "--workers",
         type=_worker_count,
         default=1,
@@ -401,7 +406,11 @@ def _cmd_segment(args, out) -> int:
 
 
 def _cmd_table4(args, out) -> int:
-    result = run_corpus(methods=tuple(args.methods), workers=args.workers)
+    result = run_corpus(
+        methods=tuple(args.methods),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
     print(render_table4(result), file=out)
     return 0
 

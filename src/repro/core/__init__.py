@@ -38,9 +38,15 @@ _EXPORTS = {
     "UnsatisfiableError": "repro.core.exceptions",
     "HybridConfig": "repro.core.hybrid",
     "HybridSegmenter": "repro.core.hybrid",
+    "PIPELINE_GRAPH": "repro.core.pipeline",
     "PageRun": "repro.core.pipeline",
     "SegmentationPipeline": "repro.core.pipeline",
     "SiteRun": "repro.core.pipeline",
+    "warm_tokens": "repro.core.pipeline",
+    "Degradation": "repro.core.stages",
+    "Stage": "repro.core.stages",
+    "StageContext": "repro.core.stages",
+    "StageGraph": "repro.core.stages",
     "SegmentedRecord": "repro.core.results",
     "Segmentation": "repro.core.results",
 }

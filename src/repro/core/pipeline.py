@@ -12,10 +12,25 @@ link order, :class:`SegmentationPipeline` runs the full method:
    (Section 4) or ``"prob"`` (Section 5);
 5. the rest-of-the-data attachment rule (Section 6.2).
 
+Since the stage-graph refactor the pipeline is a *thin assembly of
+stage declarations*: the catalogue below (:data:`PIPELINE_GRAPH`)
+declares each stage's dependencies, cache-key parts, compute function,
+span/counter emissions, and degradation ladder as data, and the
+generic :class:`~repro.core.stages.StageGraph` executor supplies the
+plumbing.  ``segment_site`` seeds a :class:`~repro.core.stages.StageContext`
+with the sample and the config, runs the ``template`` stage once per
+site and the ``extracts → observations → segment`` chain once per list
+page, and assembles the :class:`SiteRun`.  The other drivers — the
+batch runner's workers (:mod:`repro.runner.worker`), the online
+service (:mod:`repro.serve.service`), the experiment sweeps
+(:mod:`repro.reporting.experiment`) — enter the same graph instead of
+re-implementing the plumbing.
+
 The pipeline never raises on a *degenerate page* (no extracts survive
-the filters): it returns an empty segmentation with the reason in
-``meta`` so corpus-wide runs always complete, mirroring how the paper
-reports such pages as rows of unsegmented records.
+the filters): the ``segment`` stage's degradation ladder returns an
+empty segmentation with the reason in ``meta`` so corpus-wide runs
+always complete, mirroring how the paper reports such pages as rows of
+unsegmented records.
 
 The same best-effort stance extends to *degenerate samples* from
 incomplete crawls: template failures (including a raised
@@ -24,18 +39,22 @@ whole-page fallback, a single surviving list page is segmented without
 template induction, and a :class:`~repro.crawl.resilient.CrawlHealth`
 report handed in by the crawl layer is carried on the
 :class:`SiteRun` and summarized into every ``Segmentation.meta`` — so
-evaluation can condition accuracy on crawl completeness.
+evaluation can condition accuracy on crawl completeness.  Each rung of
+that ladder is a declared :class:`~repro.core.stages.Degradation`.
 
 Every stage is also *cacheable*: constructed with a ``cache`` (any
 object with the :class:`~repro.runner.cache.StageCache` interface —
-the pipeline itself depends on nothing in :mod:`repro.runner`), the
-template / extracts / observations / segmentation stages are looked
-up by a content fingerprint of their exact inputs (page bytes + the
-stage's config slice) before being computed, so warm re-runs and
-parameter sweeps skip the work upstream of the changed knob.  Caching
-engages only for pristine samples: a run carrying a ``crawl_health``
-report came through a (possibly fault-injected) crawl whose
-degradation bookkeeping must actually execute, so it always computes.
+the pipeline itself depends on nothing in :mod:`repro.runner`), each
+stage is looked up by a content fingerprint of its exact inputs (page
+bytes + the stage's config slice) before being computed, so warm
+re-runs and parameter sweeps skip the work upstream of the changed
+knob.  Key material chains: each stage's material extends its
+dependencies' material, byte-identically to the hand-written key
+tuples that predate the stage graph, so existing on-disk caches stay
+warm.  Caching engages only for pristine samples: a run carrying a
+``crawl_health`` report came through a (possibly fault-injected) crawl
+whose degradation bookkeeping must actually execute, so it always
+computes.
 
 The pipeline is fully instrumented: handed an
 :class:`~repro.obs.Observability` bundle it emits a
@@ -43,7 +62,9 @@ The pipeline is fully instrumented: handed an
 list page the extract / observation / segment stages, each with
 counts in its attributes) and books stage totals into the metrics
 registry — the per-stage cost profile ``docs/observability.md``
-documents.  Without one it falls back to the installed default
+documents.  The per-stage spans and counters are emitted by the stage
+executor from the declarations, not by per-call-site code.  Without a
+bundle it falls back to the installed default
 (:func:`repro.obs.current`), which is a no-op unless the CLI's
 ``--trace``/``--metrics-out`` flags or the benchmark session profile
 installed a live bundle.
@@ -52,6 +73,7 @@ installed a live bundle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterable
 
 from repro.core.config import METHODS, PipelineConfig
 from repro.core.exceptions import (
@@ -63,6 +85,7 @@ from repro.core.exceptions import (
     TemplateNotFoundError,
 )
 from repro.core.results import Segmentation
+from repro.core.stages import Degradation, Stage, StageContext, StageGraph
 from repro.crawl.resilient import CrawlBudget, CrawlHealth, RetryPolicy
 from repro.csp.segmenter import CspSegmenter
 from repro.extraction.extracts import extract_strings
@@ -76,7 +99,13 @@ from repro.template.model import PageTemplate
 from repro.template.table_slot import resolve_table_regions
 from repro.webdoc.page import Page
 
-__all__ = ["PageRun", "SiteRun", "SegmentationPipeline"]
+__all__ = [
+    "PIPELINE_GRAPH",
+    "PageRun",
+    "SiteRun",
+    "SegmentationPipeline",
+    "warm_tokens",
+]
 
 
 @dataclass
@@ -130,6 +159,173 @@ def _failed_verdict(reason: str, page_count: int) -> TemplateVerdict:
     )
 
 
+def _empty_segmentation(ctx: StageContext, **meta: Any) -> Segmentation:
+    """The degradation ladder's single exit: no records, reason in meta."""
+    return Segmentation(
+        method=ctx["method"],
+        records=[],
+        table=ctx["observations"],
+        meta=dict(meta),
+    )
+
+
+def _template_result_attrs(verdict: TemplateVerdict, ctx: StageContext) -> dict:
+    attrs: dict = {"ok": verdict.ok}
+    if not verdict.ok:
+        attrs["reason"] = verdict.reason
+    return attrs
+
+
+def _build_pipeline_graph() -> StageGraph:
+    """The paper's stage catalogue, declared as data.
+
+    Context inputs the stages read (seeded by the drivers):
+
+    * site scope — ``list_pages``, ``list_htmls``, ``config``,
+      ``method``, ``method_config``, ``finder``, ``make_segmenter``;
+    * page scope — ``index``, ``region``, ``details``, ``other_lists``;
+    * tokenize scope — ``page``.
+    """
+    tokenize = Stage(
+        name="tokenize",
+        key=lambda ctx: (ctx["page"].html,),
+        compute=lambda ctx: ctx["page"].tokens(),
+        finalize=lambda tokens, ctx: ctx["page"].prime_tokens(tokens),
+    )
+    template = Stage(
+        name="template",
+        key=lambda ctx: (ctx["list_htmls"], ctx["config"].template),
+        compute=lambda ctx: ctx["finder"].find(ctx["list_pages"]),
+        span="pipeline.template",
+        span_attrs=lambda ctx: {"pages": len(ctx["list_pages"])},
+        result_attrs=_template_result_attrs,
+        finalize=lambda verdict, ctx: ctx.set(
+            "regions", resolve_table_regions(ctx["list_pages"], verdict)
+        ),
+        degradations=(
+            # A single-page sample (the rest quarantined by the crawl)
+            # skips induction entirely: it needs two pages.
+            Degradation(
+                label="single_list_page",
+                condition=lambda ctx: len(ctx["list_pages"]) == 1,
+                fallback=lambda error, ctx: _failed_verdict(
+                    "only one list page survived the crawl; template "
+                    "induction needs two",
+                    page_count=1,
+                ),
+            ),
+            # A raised template failure becomes the paper's
+            # Section 6.2 whole-page fallback.
+            Degradation(
+                label="whole_page_template",
+                exceptions=(TemplateNotFoundError, InsufficientPagesError),
+                fallback=lambda error, ctx: _failed_verdict(
+                    str(error), page_count=len(ctx["list_pages"])
+                ),
+            ),
+        ),
+    )
+    extracts = Stage(
+        name="extracts",
+        deps=("template",),
+        key=lambda ctx: (ctx["index"], ctx["config"].allowed_punct),
+        compute=lambda ctx: extract_strings(
+            ctx["region"], ctx["config"].allowed_punct
+        ),
+        span="pipeline.extracts",
+        result_attrs=lambda extracts, ctx: {"count": len(extracts)},
+        counters=lambda extracts, ctx: (("pipeline.extracts", len(extracts)),),
+    )
+    observations = Stage(
+        name="observations",
+        deps=("extracts",),
+        key=lambda ctx: (
+            [page.html for page in ctx["details"]],
+            ctx["config"].match,
+        ),
+        compute=lambda ctx: ObservationTable.build(
+            ctx["extracts"],
+            ctx["details"],
+            other_list_pages=ctx["other_lists"],
+            options=ctx["config"].match,
+        ),
+        span="pipeline.observations",
+        span_attrs=lambda ctx: {"detail_pages": len(ctx["details"])},
+        result_attrs=lambda table, ctx: {
+            "observations": len(table.observations)
+        },
+        counters=lambda table, ctx: (
+            ("pipeline.observations", len(table.observations)),
+        ),
+    )
+    segment = Stage(
+        name="segment",
+        deps=("observations",),
+        key=lambda ctx: (ctx["method"], ctx["method_config"]),
+        compute=lambda ctx: ctx["make_segmenter"]().segment(
+            ctx["observations"]
+        ),
+        span="pipeline.segment",
+        span_attrs=lambda ctx: {"method": ctx["method"]},
+        result_attrs=lambda segmentation, ctx: {
+            "records": len(segmentation.records)
+        },
+        counters=lambda segmentation, ctx: (
+            ("pipeline.records", len(segmentation.records)),
+        ),
+        degradations=(
+            # Nothing to segment at all.
+            Degradation(
+                condition=lambda ctx: not ctx["observations"].observations,
+                fallback=lambda error, ctx: _empty_segmentation(
+                    ctx, empty_problem=True
+                ),
+            ),
+            # Segmenters may decide the problem is empty on criteria
+            # stricter than "no observations" (e.g. every observation
+            # filtered as unusable); degrade to an empty result.
+            Degradation(
+                exceptions=(EmptyProblemError,),
+                fallback=lambda error, ctx: _empty_segmentation(
+                    ctx, empty_problem=True
+                ),
+            ),
+            # A page the method cannot segment (degenerate lattice from
+            # an incomplete crawl, constraints unsatisfiable at every
+            # relaxation level) is reported as a page of unsegmented
+            # records — the paper's FN rows — not a crashed site run.
+            Degradation(
+                exceptions=(InferenceError, CspError),
+                fallback=lambda error, ctx: _empty_segmentation(
+                    ctx, segmenter_error=str(error)
+                ),
+            ),
+        ),
+    )
+    return StageGraph((tokenize, template, extracts, observations, segment))
+
+
+#: The shared stage graph every driver executes through: the pipeline
+#: itself, the batch runner's workers (``tokenize`` pre-stage), the
+#: online service's fallback path, and the experiment sweeps.
+PIPELINE_GRAPH = _build_pipeline_graph()
+
+
+def warm_tokens(pages: Iterable[Page], cache: Any) -> None:
+    """Populate token streams through the declared ``tokenize`` stage.
+
+    Tokenization is keyed on page bytes alone, so a warm stage cache
+    hands every worker its token streams without re-lexing.  Without a
+    cache this is a no-op (pages tokenize lazily on first use).
+    """
+    if cache is None:
+        return
+    for page in pages:
+        PIPELINE_GRAPH.run(
+            StageContext({"page": page}), targets=("tokenize",), cache=cache
+        )
+
+
 class SegmentationPipeline:
     """Site in, records out."""
 
@@ -156,13 +352,6 @@ class SegmentationPipeline:
             return (self.config.csp, self.config.prob)
         return self.config.prob
 
-    @staticmethod
-    def _cached(cache, stage: str, parts, compute):
-        """``compute()`` through the stage cache when one is wired."""
-        if cache is None:
-            return compute()
-        return cache.get_or_compute(stage, parts, compute)
-
     def _make_segmenter(self):
         if self.method == "csp":
             return CspSegmenter(self.config.csp, obs=self.obs)
@@ -175,30 +364,22 @@ class SegmentationPipeline:
             )
         return ProbabilisticSegmenter(self.config.prob)
 
-    def _find_template(
-        self, list_pages: list[Page], health: CrawlHealth | None
-    ) -> TemplateVerdict:
-        """Template induction downgraded to best-effort.
-
-        Degradation ladder: a full sample gets real induction; a
-        raised template failure becomes the paper's whole-page
-        fallback; a single-page sample (the rest quarantined by the
-        crawl) skips induction entirely.
-        """
-        if len(list_pages) == 1:
-            if health is not None:
-                health.fallbacks.append("single_list_page")
-            return _failed_verdict(
-                "only one list page survived the crawl; template "
-                "induction needs two",
-                page_count=1,
-            )
-        try:
-            return self._finder.find(list_pages)
-        except (TemplateNotFoundError, InsufficientPagesError) as error:
-            if health is not None:
-                health.fallbacks.append("whole_page_template")
-            return _failed_verdict(str(error), page_count=len(list_pages))
+    def _site_context(
+        self, list_pages: list[Page], crawl_health: CrawlHealth | None
+    ) -> StageContext:
+        """The site-scope stage context (see the graph's docstring)."""
+        return StageContext(
+            {
+                "list_pages": list_pages,
+                "list_htmls": [page.html for page in list_pages],
+                "config": self.config,
+                "method": self.method,
+                "method_config": self._method_config(),
+                "finder": self._finder,
+                "make_segmenter": self._make_segmenter,
+            },
+            health=crawl_health,
+        )
 
     def segment_site(
         self,
@@ -240,106 +421,41 @@ class SegmentationPipeline:
         # Caching engages only for pristine samples: degraded crawls
         # must run their health/fallback bookkeeping for real.
         cache = self.cache if crawl_health is None else None
-        list_htmls = [page.html for page in list_pages]
+        site_ctx = self._site_context(list_pages, crawl_health)
         with obs.span(
             "pipeline.segment_site",
             method=self.method,
             list_pages=len(list_pages),
         ) as site_span:
-            with obs.span(
-                "pipeline.template", pages=len(list_pages)
-            ) as template_span:
-                verdict = self._cached(
-                    cache,
-                    "template",
-                    (list_htmls, self.config.template),
-                    lambda: self._find_template(list_pages, crawl_health),
-                )
-                template_span.attributes["ok"] = verdict.ok
-                if not verdict.ok:
-                    template_span.attributes["reason"] = verdict.reason
-                regions = resolve_table_regions(list_pages, verdict)
+            PIPELINE_GRAPH.run(
+                site_ctx, targets=("template",), obs=obs, cache=cache
+            )
+            verdict = site_ctx["template"]
             run = SiteRun(
                 method=self.method,
                 template_verdict=verdict,
                 crawl_health=crawl_health,
             )
 
-            for index, region in enumerate(regions):
+            for index, region in enumerate(site_ctx["regions"]):
                 with obs.span(
                     "pipeline.page", index=index, url=region.page.url
                 ) as page_span:
                     started = obs.clock.now()
-                    # Each stage key extends the previous stage's key
-                    # material with its own inputs, so a downstream
-                    # knob change invalidates only downstream stages.
-                    extract_parts = (
-                        list_htmls,
-                        self.config.template,
-                        index,
-                        self.config.allowed_punct,
+                    page_ctx = site_ctx.child(
+                        index=index,
+                        region=region,
+                        details=detail_pages_per_list[index],
+                        other_lists=[
+                            page
+                            for position, page in enumerate(list_pages)
+                            if position != index
+                        ],
                     )
-                    with obs.span("pipeline.extracts") as extract_span:
-                        extracts = self._cached(
-                            cache,
-                            "extracts",
-                            extract_parts,
-                            lambda: extract_strings(
-                                region, self.config.allowed_punct
-                            ),
-                        )
-                        extract_span.attributes["count"] = len(extracts)
-                    obs.counter("pipeline.extracts").inc(len(extracts))
-                    other_lists = [
-                        page
-                        for position, page in enumerate(list_pages)
-                        if position != index
-                    ]
-                    observe_parts = (
-                        *extract_parts,
-                        [p.html for p in detail_pages_per_list[index]],
-                        self.config.match,
+                    PIPELINE_GRAPH.run(
+                        page_ctx, targets=("segment",), obs=obs, cache=cache
                     )
-                    with obs.span(
-                        "pipeline.observations",
-                        detail_pages=len(detail_pages_per_list[index]),
-                    ) as observe_span:
-                        table = self._cached(
-                            cache,
-                            "observations",
-                            observe_parts,
-                            lambda: ObservationTable.build(
-                                extracts,
-                                detail_pages_per_list[index],
-                                other_list_pages=other_lists,
-                                options=self.config.match,
-                            ),
-                        )
-                        observe_span.attributes["observations"] = len(
-                            table.observations
-                        )
-                    obs.counter("pipeline.observations").inc(
-                        len(table.observations)
-                    )
-                    with obs.span(
-                        "pipeline.segment", method=self.method
-                    ) as segment_span:
-                        segmentation = self._cached(
-                            cache,
-                            "segment",
-                            (
-                                *observe_parts,
-                                self.method,
-                                self._method_config(),
-                            ),
-                            lambda: self._segment_table(table),
-                        )
-                        segment_span.attributes["records"] = len(
-                            segmentation.records
-                        )
-                    obs.counter("pipeline.records").inc(
-                        len(segmentation.records)
-                    )
+                    segmentation = page_ctx["segment"]
                     segmentation.meta.setdefault("template_ok", verdict.ok)
                     segmentation.meta.setdefault("whole_page", region.whole_page)
                     if crawl_health is not None:
@@ -359,7 +475,7 @@ class SegmentationPipeline:
                     run.pages.append(
                         PageRun(
                             page=region.page,
-                            table=table,
+                            table=page_ctx["observations"],
                             segmentation=segmentation,
                             elapsed=obs.clock.now() - started,
                         )
@@ -404,36 +520,3 @@ class SegmentationPipeline:
             crawl.detail_pages_per_list,
             crawl_health=crawl.health,
         )
-
-    def _segment_table(self, table: ObservationTable) -> Segmentation:
-        if not table.observations:
-            return Segmentation(
-                method=self.method,
-                records=[],
-                table=table,
-                meta={"empty_problem": True},
-            )
-        segmenter = self._make_segmenter()
-        try:
-            return segmenter.segment(table)
-        except EmptyProblemError:
-            # Segmenters may decide the problem is empty on criteria
-            # stricter than "no observations" (e.g. every observation
-            # filtered as unusable); degrade to an empty result.
-            return Segmentation(
-                method=self.method,
-                records=[],
-                table=table,
-                meta={"empty_problem": True},
-            )
-        except (InferenceError, CspError) as error:
-            # A page the method cannot segment (degenerate lattice from
-            # an incomplete crawl, constraints unsatisfiable at every
-            # relaxation level) is reported as a page of unsegmented
-            # records — the paper's FN rows — not a crashed site run.
-            return Segmentation(
-                method=self.method,
-                records=[],
-                table=table,
-                meta={"segmenter_error": str(error)},
-            )

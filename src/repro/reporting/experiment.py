@@ -12,7 +12,13 @@ backed by the content-addressed stage cache (``cache_dir``) — the
 Table 4 run parallelizes and warm-runs like any other batch, while
 row order and numbers stay byte-identical to the serial loop.  A
 caller-supplied corpus object (noise sweeps, ablations) cannot be
-rebuilt by name inside a worker, so it runs inline as before.
+rebuilt by name inside a worker, so it runs inline — but the method
+sweep still reuses upstream stages: every method shares one
+per-site :class:`~repro.runner.cache.MemoryStageCache`, so the
+graph's ``tokenize``/``template``/``extracts``/``observations``
+stages compute once per site and only ``segment`` (whose cache key
+includes the method and its config) runs per method.  Rows are
+re-emitted in method-major order, so sharing changes no output.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.reporting.aggregate import (
     PageResult,
     notes_from_meta,
 )
+from repro.runner.cache import MemoryStageCache
 from repro.sitegen.corpus import Corpus, build_corpus
 
 __all__ = ["run_corpus", "run_site"]
@@ -34,9 +41,16 @@ def run_site(
     site,
     method: str,
     config: PipelineConfig | None = None,
+    cache=None,
 ) -> list[PageResult]:
-    """Run one method over one generated site; one row per list page."""
-    pipeline = SegmentationPipeline(method, config)
+    """Run one method over one generated site; one row per list page.
+
+    Args:
+        cache: optional stage cache (disk or memory) the pipeline's
+            stage graph consults; pass the same instance across
+            methods to reuse method-independent upstream stages.
+    """
+    pipeline = SegmentationPipeline(method, config, cache=cache)
     run = pipeline.segment_generated_site(site)
     rows: list[PageResult] = []
     for page_run, truth in zip(run.pages, site.truth):
@@ -115,9 +129,19 @@ def run_corpus(
         return _run_standard_corpus(
             tuple(methods), config, workers, cache_dir
         )
+    # Site-major execution so each site's upstream stages are computed
+    # once and shared across methods; rows are then emitted in the
+    # method-major order the serial loop always produced.
+    rows_by_cell: dict[tuple[str, int], list[PageResult]] = {}
+    for site_index, site in enumerate(corpus.sites):
+        site_cache = MemoryStageCache()
+        for method in methods:
+            rows_by_cell[(method, site_index)] = run_site(
+                site, method, config, cache=site_cache
+            )
     result = ExperimentResult()
     for method in methods:
-        for site in corpus.sites:
-            for row in run_site(site, method, config):
+        for site_index in range(len(corpus.sites)):
+            for row in rows_by_cell[(method, site_index)]:
                 result.add(row)
     return result

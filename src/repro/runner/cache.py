@@ -48,7 +48,7 @@ from typing import Any, Callable, Iterable
 
 from repro.obs import NULL_OBS, Observability
 
-__all__ = ["CacheStats", "StageCache", "fingerprint"]
+__all__ = ["CacheStats", "MemoryStageCache", "StageCache", "fingerprint"]
 
 _CHECKSUM_BYTES = 32
 
@@ -274,3 +274,45 @@ class StageCache:
         value = compute()
         self.store(stage, key, value)
         return value
+
+
+class MemoryStageCache:
+    """An in-process stage cache with :class:`StageCache` semantics.
+
+    Used where the win is sharing *within* one run rather than across
+    runs — e.g. a method sweep over a caller-supplied corpus, where
+    ``tokenize``/``template``/``extracts``/``observations`` results
+    are identical across methods but the corpus object cannot be
+    named on disk.  Keys use the same :func:`fingerprint`
+    canonicalization as the on-disk cache, and values round-trip
+    through pickle on both store and load so a cached result is
+    isolated from its producer exactly like a disk hit would be
+    (mutating a returned value never poisons the cache).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, bytes] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, stage: str, parts: Iterable[Any]) -> str:
+        """The cache key for ``stage`` over the given input parts."""
+        return fingerprint(stage, list(parts))
+
+    def get_or_compute(
+        self, stage: str, parts: Iterable[Any], compute: Callable[[], Any]
+    ) -> Any:
+        """The cached value for ``stage`` + ``parts``, computing on miss."""
+        key = self.key(stage, parts)
+        payload = self._entries.get(key)
+        if payload is not None:
+            self.stats.hits += 1
+            return pickle.loads(payload)
+        self.stats.misses += 1
+        value = compute()
+        self._entries[key] = pickle.dumps(
+            value, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        return pickle.loads(self._entries[key])

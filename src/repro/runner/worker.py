@@ -11,6 +11,14 @@ task kind, and reduces the pipeline's output to a picklable
 registry's snapshot, which the engine merges into the parent's
 metrics so a parallel run profiles exactly like a serial one.
 
+Workers execute stages through the shared stage graph
+(:data:`repro.core.pipeline.PIPELINE_GRAPH`): page tokenization is the
+graph's declared ``tokenize`` stage (warmed here via
+:func:`~repro.core.pipeline.warm_tokens` because it is keyed on page
+bytes alone), and everything downstream runs inside the
+:class:`~repro.core.pipeline.SegmentationPipeline` assembly of the
+same graph — no cache-key tuples or span emission live in this module.
+
 Failures never escape: any exception becomes a ``failed`` result
 carrying the traceback, so one broken site cannot take down the
 batch (the process-pool analogue of the resilient pipeline's
@@ -25,7 +33,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.core.config import PipelineConfig
-from repro.core.pipeline import SegmentationPipeline, SiteRun
+from repro.core.pipeline import SegmentationPipeline, SiteRun, warm_tokens
 from repro.obs import Observability
 from repro.runner.cache import StageCache
 from repro.runner.tasks import PageOutcome, SiteTask, TaskResult
@@ -35,17 +43,6 @@ __all__ = ["execute_task"]
 #: Segmentation meta keys that mark a page as degraded enough to
 #: quarantine the site (exit non-zero, retry on resume-less re-runs).
 _QUARANTINE_META = ("segmenter_error", "empty_problem")
-
-
-def _warm_tokens(pages: list, cache: StageCache | None) -> None:
-    """Populate each page's token stream from the ``tokenize`` stage
-    cache (tokenization is keyed on page bytes alone)."""
-    if cache is None:
-        return
-    for page in pages:
-        page._tokens = cache.get_or_compute(
-            "tokenize", (page.html,), page.tokens
-        )
 
 
 def _outcomes(run: SiteRun) -> tuple[list[PageOutcome], str]:
@@ -90,9 +87,9 @@ def _run_sample_dir(
     from repro.webdoc.store import load_sample
 
     sample = load_sample(Path(task.spec))
-    _warm_tokens(sample.list_pages, cache)
+    warm_tokens(sample.list_pages, cache)
     for details in sample.detail_pages_per_list:
-        _warm_tokens(details, cache)
+        warm_tokens(details, cache)
     run = pipeline.segment_site(
         sample.list_pages, sample.detail_pages_per_list
     )
@@ -108,10 +105,10 @@ def _run_generated(
     from repro.sitegen.corpus import build_site
 
     site = build_site(task.spec)
-    _warm_tokens(site.list_pages, cache)
+    warm_tokens(site.list_pages, cache)
     details = [site.detail_pages(i) for i in range(len(site.list_pages))]
     for page_set in details:
-        _warm_tokens(page_set, cache)
+        warm_tokens(page_set, cache)
     run = pipeline.segment_site(site.list_pages, details)
     pages, status = _outcomes(run)
     return pages, status, None
@@ -127,10 +124,10 @@ def _run_eval_generated(
     from repro.sitegen.corpus import build_site
 
     site = build_site(task.spec)
-    _warm_tokens(site.list_pages, cache)
+    warm_tokens(site.list_pages, cache)
     details = [site.detail_pages(i) for i in range(len(site.list_pages))]
     for page_set in details:
-        _warm_tokens(page_set, cache)
+        warm_tokens(page_set, cache)
     run = pipeline.segment_site(site.list_pages, details)
     rows = [
         PageResult(

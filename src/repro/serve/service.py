@@ -28,6 +28,17 @@ therefore serialize the same deterministic function of the page, which
 is what makes cold and warm responses byte-identical for an unchanged
 site — the end-to-end acceptance check.
 
+Both paths are *entry points into one stage graph*
+(:data:`SERVICE_GRAPH`), not parallel code paths: the warm
+wrapper-apply (+ drift scoring), the pipeline fallback, and wrapper
+re-induction are each a declared :class:`~repro.core.stages.Stage`
+whose span and counters the shared
+:class:`~repro.core.stages.StageGraph` executor emits — the same
+contract the batch pipeline's stages use.  The pipeline stage itself
+nests the full ``pipeline.*`` stage chain of
+:data:`~repro.core.pipeline.PIPELINE_GRAPH` under its ``serve.pipeline``
+span.
+
 Thread safety: one service instance is shared by every worker thread.
 The registry locks internally, the metrics registry is thread-safe,
 and each request gets its own private span tree
@@ -51,6 +62,7 @@ from typing import Any
 from repro.core.config import METHODS
 from repro.core.exceptions import ConfigError, ExtractionError, ReproError
 from repro.core.pipeline import SegmentationPipeline, SiteRun
+from repro.core.stages import Degradation, Stage, StageContext, StageGraph
 from repro.crawl.resilient import CrawlBudget
 from repro.obs import MetricsRegistry, Observability
 from repro.runner.cache import StageCache
@@ -62,11 +74,105 @@ from repro.serve.schema import (
     segmentation_records,
     wrapped_row_records,
 )
-from repro.webdoc.page import Page
 from repro.wrapper.apply import apply_wrapper
 from repro.wrapper.induce import RowWrapper, induce_wrapper
 
-__all__ = ["ServeError", "ServiceConfig", "SegmentationService"]
+__all__ = [
+    "SERVICE_GRAPH",
+    "ServeError",
+    "ServiceConfig",
+    "SegmentationService",
+]
+
+
+def _compute_apply(ctx: StageContext) -> tuple[list[dict[str, Any]], DriftVerdict]:
+    """Wrapper-extract every list page + judge output quality."""
+    wrapper = ctx["wrapper"]
+    pages: list[dict[str, Any]] = []
+    scores: list[float] = []
+    for list_page, detail_pages in zip(ctx["list_pages"], ctx["details"]):
+        rows = apply_wrapper(wrapper, list_page)
+        scores.append(wrapped_page_quality(rows, detail_pages))
+        pages.append(
+            {
+                "url": list_page.url,
+                "records": wrapped_row_records(rows),
+                "record_count": len(rows),
+            }
+        )
+    score = sum(scores) / len(scores) if scores else 0.0
+    return pages, DriftVerdict(
+        score=score, threshold=ctx["drift_threshold"]
+    )
+
+
+def _apply_counters(value, ctx: StageContext):
+    """Warm-path outcome counters (silent on the post-induction apply)."""
+    if not ctx.get("count_outcome"):
+        return ()
+    _, drift = value
+    if drift.drifted:
+        return (("serve.fallbacks", 1),)
+    return (("serve.wrapper_hits", 1),)
+
+
+def _compute_pipeline(ctx: StageContext) -> SiteRun:
+    pipeline = SegmentationPipeline(ctx["method"], obs=ctx["request_obs"])
+    return pipeline.segment_site(ctx["list_pages"], ctx["details"])
+
+
+def _build_service_graph() -> StageGraph:
+    """The online service's stage catalogue, declared as data.
+
+    Context inputs: ``site_id``, ``method``, ``list_pages``,
+    ``details``, ``drift_threshold``, ``request_obs``; the warm path
+    adds ``wrapper`` and ``count_outcome``.
+    """
+    apply_stage = Stage(
+        name="apply",
+        compute=_compute_apply,
+        span="serve.apply",
+        span_attrs=lambda ctx: {"site": ctx["site_id"]},
+        counters=_apply_counters,
+    )
+    pipeline_stage = Stage(
+        name="pipeline",
+        compute=_compute_pipeline,
+        span="serve.pipeline",
+        span_attrs=lambda ctx: {
+            "site": ctx["site_id"], "method": ctx["method"]
+        },
+        counters=lambda run, ctx: (("serve.pipeline_runs", 1),),
+        finalize=lambda run, ctx: ctx.set(
+            "sample",
+            next(
+                (page for page in run.pages if page.segmentation.records),
+                None,
+            ),
+        ),
+    )
+    induce_stage = Stage(
+        name="induce",
+        deps=("pipeline",),
+        compute=lambda ctx: induce_wrapper(
+            ctx["sample"], ctx["pipeline"].template_verdict
+        ),
+        span="serve.induce",
+        span_attrs=lambda ctx: {"site": ctx["site_id"]},
+        degradations=(
+            # A segmentation the induction cannot generalize is not an
+            # error: the request is answered from the raw pipeline run.
+            Degradation(
+                exceptions=(ExtractionError,),
+                fallback=lambda error, ctx: None,
+            ),
+        ),
+    )
+    return StageGraph((apply_stage, pipeline_stage, induce_stage))
+
+
+#: The request-handling stage graph (shared executor, serve.* spans).
+SERVICE_GRAPH = _build_service_graph()
 
 
 class ServeError(ReproError):
@@ -201,25 +307,35 @@ class SegmentationService:
                 400, f"unknown method {method!r}; pick from {METHODS}"
             )
 
+        ctx = StageContext(
+            {
+                "site_id": site_id,
+                "method": method,
+                "list_pages": list_pages,
+                "details": details,
+                "drift_threshold": self.config.drift_threshold,
+                "request_obs": obs,
+            }
+        )
+
         wrapper = self.registry.get(site_id, method)
         drift: DriftVerdict | None = None
         if wrapper is not None:
-            with obs.span("serve.apply", site=site_id):
-                pages, drift = self._apply(wrapper, list_pages, details)
+            warm_ctx = ctx.child(wrapper=wrapper, count_outcome=True)
+            SERVICE_GRAPH.run(warm_ctx, targets=("apply",), obs=obs)
+            pages, drift = warm_ctx["apply"]
             if not drift.drifted:
-                obs.counter("serve.wrapper_hits").inc()
                 return self._response(
                     site_id, method, "wrapper", pages, drift, cached=True
                 )
-            obs.counter("serve.fallbacks").inc()
 
         run, wrapper = self._run_pipeline(
-            site_id, method, list_pages, details, obs,
-            reinduced=drift is not None,
+            ctx, obs, reinduced=drift is not None
         )
         if wrapper is not None:
-            with obs.span("serve.apply", site=site_id):
-                pages, _ = self._apply(wrapper, list_pages, details)
+            apply_ctx = ctx.child(wrapper=wrapper)
+            SERVICE_GRAPH.run(apply_ctx, targets=("apply",), obs=obs)
+            pages, _ = apply_ctx["apply"]
         else:
             pages = self._pages_from_run(run)
         return self._response(
@@ -227,62 +343,30 @@ class SegmentationService:
             cached=False, induced=wrapper is not None,
         )
 
-    def _apply(
-        self,
-        wrapper: RowWrapper,
-        list_pages: list[Page],
-        details: list[list[Page]],
-    ) -> tuple[list[dict[str, Any]], DriftVerdict]:
-        """Wrapper-extract every list page + judge output quality."""
-        pages: list[dict[str, Any]] = []
-        scores: list[float] = []
-        for list_page, detail_pages in zip(list_pages, details):
-            rows = apply_wrapper(wrapper, list_page)
-            scores.append(wrapped_page_quality(rows, detail_pages))
-            pages.append(
-                {
-                    "url": list_page.url,
-                    "records": wrapped_row_records(rows),
-                    "record_count": len(rows),
-                }
-            )
-        score = sum(scores) / len(scores) if scores else 0.0
-        return pages, DriftVerdict(
-            score=score, threshold=self.config.drift_threshold
-        )
-
     def _run_pipeline(
         self,
-        site_id: str,
-        method: str,
-        list_pages: list[Page],
-        details: list[list[Page]],
+        ctx: StageContext,
         obs: Observability,
         reinduced: bool,
     ) -> tuple[SiteRun, RowWrapper | None]:
-        """Full pipeline + wrapper (re-)induction and registration."""
-        obs.counter("serve.pipeline_runs").inc()
-        with obs.span("serve.pipeline", site=site_id, method=method):
-            pipeline = SegmentationPipeline(method, obs=obs)
-            run = pipeline.segment_site(list_pages, details)
-        wrapper = None
-        sample = next(
-            (page for page in run.pages if page.segmentation.records), None
-        )
-        if sample is not None:
-            try:
-                with obs.span("serve.induce", site=site_id):
-                    wrapper = induce_wrapper(sample, run.template_verdict)
-            except ExtractionError:
-                wrapper = None
+        """Graph entry point: pipeline + (re-)induction and registration."""
+        SERVICE_GRAPH.run(ctx, targets=("pipeline",), obs=obs)
+        run: SiteRun = ctx["pipeline"]
+        wrapper: RowWrapper | None = None
+        if ctx["sample"] is not None:
+            # The ``induce`` stage is only entered when the pipeline
+            # produced a usable sample, so the ``serve.induce`` span
+            # (and its latency histogram) measures real inductions.
+            SERVICE_GRAPH.run(ctx, targets=("induce",), obs=obs)
+            wrapper = ctx["induce"]
         if wrapper is not None:
-            self.registry.put(site_id, method, wrapper)
+            self.registry.put(ctx["site_id"], ctx["method"], wrapper)
             if reinduced:
                 obs.counter("serve.reinductions").inc()
         elif reinduced:
             # Drifted and could not re-induce: the stale wrapper must
             # not answer the next request either.
-            self.registry.invalidate(site_id, method)
+            self.registry.invalidate(ctx["site_id"], ctx["method"])
         return run, wrapper
 
     @staticmethod

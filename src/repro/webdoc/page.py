@@ -4,7 +4,9 @@ Pages are the unit of input to the whole pipeline: the template finder
 takes several list :class:`Page` objects, the observation builder takes
 one list page plus its detail pages, and the simulated crawler produces
 them.  Token streams are computed lazily and cached, since every stage
-of the pipeline re-reads them.
+of the pipeline re-reads them; the text-only view is cached separately
+because several stages (matching, drift scoring) filter the same
+stream per page.
 """
 
 from __future__ import annotations
@@ -37,6 +39,9 @@ class Page:
     _tokens: "list[Token] | None" = field(
         default=None, repr=False, compare=False
     )
+    _text_tokens: "list[Token] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def tokens(self) -> "list[Token]":
         """Tokenize the page (cached).
@@ -51,12 +56,27 @@ class Page:
         return self._tokens
 
     def text_tokens(self) -> "list[Token]":
-        """Only the visible-text tokens of the page (no tags)."""
-        return [token for token in self.tokens() if not token.is_html]
+        """Only the visible-text tokens of the page (no tags; cached)."""
+        if self._text_tokens is None:
+            self._text_tokens = [
+                token for token in self.tokens() if not token.is_html
+            ]
+        return self._text_tokens
+
+    def prime_tokens(self, tokens: "list[Token]") -> None:
+        """Install an externally computed token stream.
+
+        Used by the batch runner's ``tokenize`` stage to hand a page
+        its cached stream; resets the derived text-token view so it is
+        refiltered from the new stream.
+        """
+        self._tokens = tokens
+        self._text_tokens = None
 
     def invalidate_cache(self) -> None:
-        """Drop the cached token stream (after mutating ``html``)."""
+        """Drop the cached token streams (after mutating ``html``)."""
         self._tokens = None
+        self._text_tokens = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         role = f" [{self.kind}]" if self.kind else ""

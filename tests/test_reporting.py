@@ -93,3 +93,40 @@ class TestRenderers:
         assert "ohio p0" in rendered
         assert "Precision" in rendered and "Recall" in rendered
         assert "Relax constraints" in rendered
+
+
+class TestMethodSweepSharing:
+    """A custom-corpus sweep shares upstream stages without changing rows."""
+
+    def test_shared_cache_rows_identical_and_method_major(self):
+        from repro.reporting.experiment import run_corpus, run_site
+        from repro.sitegen.corpus import Corpus, build_site
+
+        corpus = Corpus(sites=[build_site("lee"), build_site("ohio")])
+        swept = run_corpus(corpus=corpus, methods=("prob", "csp"))
+
+        serial = []
+        for method in ("prob", "csp"):
+            for site in corpus.sites:
+                serial.extend(run_site(site, method))
+        assert [
+            (r.site, r.page_index, r.method, r.score, r.notes, r.meta)
+            for r in swept.pages
+        ] == [
+            (r.site, r.page_index, r.method, r.score, r.notes, r.meta)
+            for r in serial
+        ]
+
+    def test_shared_cache_actually_shares(self):
+        from repro.reporting.experiment import run_site
+        from repro.runner.cache import MemoryStageCache
+        from repro.sitegen.corpus import build_site
+
+        site = build_site("lee")
+        cache = MemoryStageCache()
+        run_site(site, "prob", cache=cache)
+        misses_after_first = cache.stats.misses
+        run_site(site, "csp", cache=cache)
+        # The second method recomputes only its segment stage.
+        assert cache.stats.misses - misses_after_first == len(site.list_pages)
+        assert cache.stats.hits > 0

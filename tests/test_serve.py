@@ -247,3 +247,29 @@ class TestHealth:
         assert body["sites_cached"] == 1
         assert body["queue_depth"] == 0
         assert body["uptime_s"] >= 0
+
+
+class TestServiceGraph:
+    """The service's request paths are entry points into SERVICE_GRAPH."""
+
+    def test_graph_declares_the_three_serve_stages(self):
+        from repro.serve.service import SERVICE_GRAPH
+
+        assert "apply" in SERVICE_GRAPH
+        assert "pipeline" in SERVICE_GRAPH
+        assert "induce" in SERVICE_GRAPH
+        assert SERVICE_GRAPH.stage("apply").span == "serve.apply"
+        assert SERVICE_GRAPH.stage("pipeline").span == "serve.pipeline"
+        assert SERVICE_GRAPH.stage("induce").deps == ("pipeline",)
+
+    def test_warm_apply_entry_point_counts_outcome(self, ohio_payload):
+        service = SegmentationService(ServiceConfig(method="prob"))
+        cold = service.segment(ohio_payload)
+        warm = service.segment(ohio_payload)
+        assert cold["path"] == "pipeline" and warm["path"] == "wrapper"
+        counters = service.metrics_dict()["counters"]
+        assert counters["serve.wrapper_hits"] == 1
+        assert counters["serve.pipeline_runs"] == 1
+        # The post-induction apply on the cold path runs the same
+        # graph stage but books no warm-path outcome counter.
+        assert counters.get("serve.fallbacks", 0) == 0

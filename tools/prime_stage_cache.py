@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Prime a stage cache with the pre-refactor (legacy) cache keys.
+
+The stage-graph refactor promised that existing on-disk caches stay
+warm: the graph's chained key material is byte-identical to the
+hand-written key tuples the pipeline built before it.  CI's
+``stage-parity`` job holds that promise to account.  This tool is the
+"before" half: it fills a :class:`~repro.runner.cache.StageCache` the
+way the *pre-refactor* pipeline did — hand-built key tuples, values
+computed by direct calls to the stage functions, the degradation
+ladders replicated procedurally — without touching the stage graph
+anywhere.  A graph-driven ``segment-dir`` run against the primed
+cache must then report zero misses.
+
+Usage::
+
+    PYTHONPATH=src python tools/prime_stage_cache.py CORPUS_DIR CACHE_DIR \
+        [--method csp]
+
+where ``CORPUS_DIR`` holds sample directories (``sample.json``
+manifests) as written by ``python -m repro export-corpus``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.config import METHODS, PipelineConfig
+from repro.core.exceptions import (
+    CspError,
+    EmptyProblemError,
+    InferenceError,
+    InsufficientPagesError,
+    TemplateNotFoundError,
+)
+from repro.core.results import Segmentation
+from repro.csp.segmenter import CspSegmenter
+from repro.extraction.extracts import extract_strings
+from repro.extraction.observations import ObservationTable
+from repro.prob.segmenter import ProbabilisticSegmenter
+from repro.runner.cache import StageCache
+from repro.template.finder import TemplateFinder, TemplateVerdict
+from repro.template.model import PageTemplate
+from repro.template.table_slot import resolve_table_regions
+from repro.webdoc.store import load_sample
+
+
+def _failed_verdict(reason: str, page_count: int) -> TemplateVerdict:
+    return TemplateVerdict(
+        template=PageTemplate(aligned=(), page_count=page_count),
+        ok=False,
+        reason=reason,
+    )
+
+
+def _empty_segmentation(method, table, **meta) -> Segmentation:
+    return Segmentation(method=method, records=[], table=table, meta=dict(meta))
+
+
+def _method_config(method: str, config: PipelineConfig):
+    if method == "csp":
+        return config.csp
+    if method == "hybrid":
+        return (config.csp, config.prob)
+    return config.prob
+
+
+def _make_segmenter(method: str, config: PipelineConfig):
+    if method == "csp":
+        return CspSegmenter(config.csp)
+    if method == "hybrid":
+        from repro.core.hybrid import HybridConfig, HybridSegmenter
+
+        return HybridSegmenter(
+            HybridConfig(csp=config.csp, prob=config.prob)
+        )
+    return ProbabilisticSegmenter(config.prob)
+
+
+def prime_sample(cache: StageCache, directory: Path, method: str) -> int:
+    """Prime one sample directory old-style; returns entries written."""
+    config = PipelineConfig()
+    sample = load_sample(directory)
+    list_pages = sample.list_pages
+    details = sample.detail_pages_per_list
+    entries = 0
+
+    # -- tokenize: keyed on page bytes alone ------------------------------
+    for page in list_pages + [p for group in details for p in group]:
+        cache.store(
+            "tokenize", cache.key("tokenize", (page.html,)), page.tokens()
+        )
+        entries += 1
+
+    # -- template: the legacy ladder, replicated procedurally -------------
+    list_htmls = [page.html for page in list_pages]
+    template_key = (list_htmls, config.template)
+    if len(list_pages) == 1:
+        verdict = _failed_verdict(
+            "only one list page survived the crawl; template induction "
+            "needs two",
+            page_count=1,
+        )
+    else:
+        try:
+            verdict = TemplateFinder(config.template).find(list_pages)
+        except (TemplateNotFoundError, InsufficientPagesError) as error:
+            verdict = _failed_verdict(str(error), len(list_pages))
+    cache.store("template", cache.key("template", template_key), verdict)
+    entries += 1
+
+    # -- per page: extracts -> observations -> segment ---------------------
+    regions = resolve_table_regions(list_pages, verdict)
+    for index, region in enumerate(regions):
+        extracts_key = template_key + (index, config.allowed_punct)
+        extracts = extract_strings(region, config.allowed_punct)
+        cache.store(
+            "extracts", cache.key("extracts", extracts_key), extracts
+        )
+
+        observations_key = extracts_key + (
+            [page.html for page in details[index]],
+            config.match,
+        )
+        table = ObservationTable.build(
+            extracts,
+            details[index],
+            other_list_pages=[
+                page
+                for position, page in enumerate(list_pages)
+                if position != index
+            ],
+            options=config.match,
+        )
+        cache.store(
+            "observations",
+            cache.key("observations", observations_key),
+            table,
+        )
+
+        segment_key = observations_key + (
+            method,
+            _method_config(method, config),
+        )
+        if not table.observations:
+            segmentation = _empty_segmentation(
+                method, table, empty_problem=True
+            )
+        else:
+            try:
+                segmentation = _make_segmenter(method, config).segment(table)
+            except EmptyProblemError:
+                segmentation = _empty_segmentation(
+                    method, table, empty_problem=True
+                )
+            except (InferenceError, CspError) as error:
+                segmentation = _empty_segmentation(
+                    method, table, segmenter_error=str(error)
+                )
+        cache.store(
+            "segment", cache.key("segment", segment_key), segmentation
+        )
+        entries += 3
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("corpus", help="corpus directory of sample dirs")
+    parser.add_argument("cache_dir", help="stage-cache root to prime")
+    parser.add_argument(
+        "--method", choices=METHODS, default="prob", help="segmenter"
+    )
+    args = parser.parse_args(argv)
+
+    corpus = Path(args.corpus)
+    if (corpus / "sample.json").exists():
+        sample_dirs = [corpus]
+    else:
+        sample_dirs = sorted(
+            child
+            for child in corpus.iterdir()
+            if (child / "sample.json").exists()
+        )
+    if not sample_dirs:
+        print(f"error: no sample.json under {corpus}", file=sys.stderr)
+        return 2
+
+    cache = StageCache(args.cache_dir)
+    total = 0
+    for directory in sample_dirs:
+        total += prime_sample(cache, directory, args.method)
+    print(
+        f"primed {total} legacy-key entries for {len(sample_dirs)} "
+        f"site(s) into {args.cache_dir}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
