@@ -16,6 +16,7 @@ Usage (after ``pip install -e .``)::
     python -m repro segment-dir ./corpus --workers 4 --resume
     python -m repro segment lee --json        # machine-readable summary
     python -m repro serve --port 8080         # long-lived HTTP service
+    python -m repro serve --procs 4           # supervised multi-process
     python -m repro --version
 
 ``segment-dir`` works on *any* directory holding saved list/detail
@@ -31,7 +32,10 @@ The exit code is non-zero when any site ends quarantined or failed.
 ``serve`` starts the long-lived online service (:mod:`repro.serve`):
 ``POST /v1/segment`` answers from a per-site wrapper cache when it
 can and the full pipeline when it must, with admission control and
-graceful SIGTERM draining — see ``docs/serving.md``.
+graceful SIGTERM draining.  ``--procs N`` puts a supervising parent
+in front of N crash-isolated worker processes sharing the port via
+``SO_REUSEPORT``, restarting dead workers under a crash budget — see
+``docs/serving.md``.
 
 ``--json`` on ``segment`` and ``segment-dir`` swaps the human output
 for the machine-readable summary the service shares
@@ -315,6 +319,76 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="wrapper quality below this re-runs the pipeline (0-1)",
     )
+    serve.add_argument(
+        "--hung-grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help=(
+            "watchdog grace past the deadline before an in-flight "
+            "request is abandoned as a 504"
+        ),
+    )
+    serve.add_argument(
+        "--mem-limit-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="cap the process address space (RLIMIT_AS) per worker",
+    )
+    serve.add_argument(
+        "--procs",
+        type=_worker_count,
+        default=1,
+        help=(
+            "worker processes under a supervising parent; >1 needs "
+            "SO_REUSEPORT (crashed workers are restarted)"
+        ),
+    )
+    serve.add_argument(
+        "--crash-budget",
+        type=int,
+        default=8,
+        help="worker crashes tolerated per rolling window before exit 1",
+    )
+    serve.add_argument(
+        "--crash-window",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="rolling window the crash budget is counted over",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="a worker silent this long is presumed wedged and killed",
+    )
+    serve.add_argument(
+        "--chaos-plan",
+        metavar="PATH",
+        default=None,
+        help="JSON ChaosPlan: inject worker kills / hangs / cache faults",
+    )
+    # Hidden plumbing: how a supervisor tells the worker process who
+    # it is.  Never set by hand.
+    serve.add_argument(
+        "--_worker-index", dest="_worker_index", type=int, default=None,
+        help=argparse.SUPPRESS,
+    )
+    serve.add_argument(
+        "--_generation", dest="_generation", type=int, default=0,
+        help=argparse.SUPPRESS,
+    )
+    serve.add_argument(
+        "--_heartbeat-fd", dest="_heartbeat_fd", type=int, default=None,
+        help=argparse.SUPPRESS,
+    )
+    serve.add_argument(
+        "--_heartbeat-interval", dest="_heartbeat_interval", type=float,
+        default=0.25, help=argparse.SUPPRESS,
+    )
 
     show = commands.add_parser("show", help="print a generated page's HTML")
     show.add_argument("site", choices=sorted(SITE_BUILDERS))
@@ -459,7 +533,7 @@ def _cmd_segment_dir(args, out) -> int:
     bad = sum(
         1
         for result in batch.results
-        if result.status in ("failed", "timeout", "quarantined")
+        if result.status in ("failed", "timeout", "crashed", "quarantined")
     )
     if args.json:
         import json as json_module
@@ -474,7 +548,7 @@ def _cmd_segment_dir(args, out) -> int:
 
     bad = 0
     for result in sorted(batch.results, key=lambda r: r.task_id):
-        if result.status in ("failed", "timeout"):
+        if result.status in ("failed", "timeout", "crashed"):
             bad += 1
             reason = (result.error or result.status).strip().splitlines()[-1]
             print(f"!! {result.task_id}: {result.status} — {reason}", file=out)
@@ -499,7 +573,7 @@ def _cmd_segment_dir(args, out) -> int:
     summary = (
         f"sites: {counts.get('ok', 0)} ok, "
         f"{counts.get('quarantined', 0)} quarantined, "
-        f"{counts.get('failed', 0) + counts.get('timeout', 0)} failed"
+        f"{counts.get('failed', 0) + counts.get('timeout', 0) + counts.get('crashed', 0)} failed"
     )
     if batch.skipped:
         summary += f", {len(batch.skipped)} resumed-skipped"
@@ -534,26 +608,122 @@ def _cmd_export_corpus(args, out) -> int:
     return 0
 
 
-def _cmd_serve(args, out) -> int:
+def _service_config(args, wrapper_cache_dir=None):
     from repro.crawl.resilient import CrawlBudget
+    from repro.serve import ServiceConfig
+
+    return ServiceConfig(
+        method=args.method,
+        drift_threshold=args.drift_threshold,
+        wrapper_cache_dir=wrapper_cache_dir or args.wrapper_cache_dir,
+        wrapper_cache_max_bytes=args.wrapper_cache_max_bytes,
+        request_budget=CrawlBudget(deadline_s=args.deadline),
+        workers=args.workers,
+        max_queue=args.max_queue,
+        hung_grace_s=args.hung_grace,
+    )
+
+
+def _run_supervised(args, out) -> int:
+    """``serve --procs N``: supervise N worker processes."""
+    import shutil
+    import sys as sys_module
+    import tempfile
+
+    from repro.serve import Supervisor, SupervisorConfig
+
+    # Crash survivability needs shared state: without an explicit
+    # wrapper dir, give the fleet a throwaway one so a restarted
+    # worker still warms from its predecessors' wrappers.
+    wrapper_dir = args.wrapper_cache_dir
+    cleanup_dir = None
+    if wrapper_dir is None:
+        wrapper_dir = cleanup_dir = tempfile.mkdtemp(prefix="repro-wrappers-")
+
+    def worker_command(spawn):
+        argv = [
+            sys_module.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host", args.host,
+            "--port", str(spawn.port),
+            "--workers", str(args.workers),
+            "--max-queue", str(args.max_queue),
+            "--method", args.method,
+            "--wrapper-cache-dir", wrapper_dir,
+            "--wrapper-cache-max-bytes", str(args.wrapper_cache_max_bytes),
+            "--deadline", str(args.deadline),
+            "--drift-threshold", str(args.drift_threshold),
+            "--hung-grace", str(args.hung_grace),
+            "--_worker-index", str(spawn.index),
+            "--_generation", str(spawn.generation),
+            "--_heartbeat-fd", str(spawn.heartbeat_fd),
+            "--_heartbeat-interval", str(spawn.heartbeat_interval_s),
+        ]
+        if args.mem_limit_mb is not None:
+            argv += ["--mem-limit-mb", str(args.mem_limit_mb)]
+        if args.chaos_plan is not None:
+            argv += ["--chaos-plan", args.chaos_plan]
+        return argv
+
+    supervisor = Supervisor(
+        worker_command,
+        SupervisorConfig(
+            procs=args.procs,
+            crash_budget=args.crash_budget,
+            crash_window_s=args.crash_window,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+        ),
+        host=args.host,
+        port=args.port,
+        out=out,
+    )
+    try:
+        return supervisor.run()
+    finally:
+        if cleanup_dir is not None:
+            shutil.rmtree(cleanup_dir, ignore_errors=True)
+
+
+def _cmd_serve(args, out) -> int:
     from repro.serve import (
         SegmentationServer,
         SegmentationService,
-        ServiceConfig,
+        load_chaos_plan,
+        run_worker,
     )
 
-    service = SegmentationService(
-        ServiceConfig(
-            method=args.method,
-            drift_threshold=args.drift_threshold,
-            wrapper_cache_dir=args.wrapper_cache_dir,
-            wrapper_cache_max_bytes=args.wrapper_cache_max_bytes,
-            request_budget=CrawlBudget(deadline_s=args.deadline),
-            workers=args.workers,
-            max_queue=args.max_queue,
-        )
+    chaos_plan = (
+        load_chaos_plan(args.chaos_plan) if args.chaos_plan else None
     )
+    if args._worker_index is not None:
+        # Supervised worker process (hidden CLI path).
+        return run_worker(
+            _service_config(args),
+            host=args.host,
+            port=args.port,
+            heartbeat_fd=args._heartbeat_fd,
+            heartbeat_interval_s=args._heartbeat_interval,
+            worker_index=args._worker_index,
+            generation=args._generation,
+            chaos_plan=chaos_plan,
+            mem_limit_mb=args.mem_limit_mb,
+            out=None,
+        )
+    if args.procs > 1:
+        return _run_supervised(args, out)
+    from repro.serve.supervisor import apply_memory_limit
+
+    apply_memory_limit(args.mem_limit_mb)
+    service = SegmentationService(_service_config(args))
     server = SegmentationServer(service, host=args.host, port=args.port)
+    if chaos_plan is not None:
+        from repro.serve import ChaosInjector
+
+        server.request_hook = ChaosInjector(
+            chaos_plan, 0, 0, metrics=service.metrics
+        ).on_request
     return server.run(out=out)
 
 

@@ -118,6 +118,7 @@ class CacheStats:
     misses: int = 0
     corrupt: int = 0
     evictions: int = 0
+    store_errors: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -125,6 +126,7 @@ class CacheStats:
             "misses": self.misses,
             "corrupt": self.corrupt,
             "evictions": self.evictions,
+            "store_errors": self.store_errors,
         }
 
 
@@ -272,7 +274,13 @@ class StageCache:
         self.stats.misses += 1
         self.obs.counter("runner.cache.misses").inc()
         value = compute()
-        self.store(stage, key, value)
+        try:
+            self.store(stage, key, value)
+        except OSError:
+            # A full or failing disk costs the *cache entry*, never
+            # the computed result: degrade to uncached and move on.
+            self.stats.store_errors += 1
+            self.obs.counter("runner.cache.store_errors").inc()
         return value
 
 

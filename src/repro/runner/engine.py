@@ -18,6 +18,14 @@ task).  Around the pool it provides:
 * **graceful cancellation** — ``KeyboardInterrupt`` cancels unstarted
   tasks, notes the interrupt in the manifest, and returns the partial
   :class:`BatchResult`; a later ``--resume`` picks up the remainder;
+* **pool-crash recovery** — a worker process dying (SIGKILL, OOM,
+  segfault) breaks the whole ``ProcessPoolExecutor``; the engine
+  records every in-flight task as ``crashed`` (*not* a completed
+  status, so ``--resume`` retries them), rebuilds the pool once
+  (``runner.pool.rebuilds``) and keeps going; a second broken pool
+  in the same run ends it as interrupted.  Tasks are submitted
+  incrementally (at most ``workers + 1`` in flight) so one crash
+  poisons a bounded set of futures;
 * **observability merge** — each worker's metrics snapshot (and span
   tree, with ``collect_trace``) is folded into the parent bundle via
   :meth:`MetricsRegistry.merge` / :meth:`Tracer.merge`, and the engine
@@ -36,6 +44,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from pathlib import Path
@@ -237,6 +246,13 @@ class BatchRunner:
             batch.results.append(result)
             self._record(manifest, task, result)
 
+    def _make_executor(self) -> ProcessPoolExecutor:
+        # ``spawn`` everywhere: identical semantics across platforms,
+        # and it catches unpicklable task state immediately.
+        return ProcessPoolExecutor(
+            max_workers=self.config.workers, mp_context=get_context("spawn")
+        )
+
     def _run_pool(
         self,
         pending: list[SiteTask],
@@ -244,15 +260,18 @@ class BatchRunner:
         batch: BatchResult,
     ) -> None:
         config = self.config
-        # ``spawn`` everywhere: identical semantics across platforms,
-        # and it catches unpicklable task state immediately.
-        executor = ProcessPoolExecutor(
-            max_workers=config.workers, mp_context=get_context("spawn")
-        )
-        futures = {}
-        try:
-            for task in pending:
-                futures[
+        executor = self._make_executor()
+        queue = list(pending)
+        in_flight: dict[Any, SiteTask] = {}
+        rebuilt = False
+
+        def submit() -> None:
+            # Incremental submission keeps the blast radius of a pool
+            # crash bounded: a SIGKILLed worker poisons every future
+            # already submitted, so only workers+1 tasks ride at once.
+            while queue and len(in_flight) < config.workers + 1:
+                task = queue.pop(0)
+                in_flight[
                     executor.submit(
                         execute_task,
                         task,
@@ -261,10 +280,12 @@ class BatchRunner:
                         config=config.pipeline,
                     )
                 ] = task
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(
-                    not_done,
+
+        try:
+            submit()
+            while in_flight:
+                done, _ = wait(
+                    set(in_flight),
                     timeout=config.stall_timeout,
                     return_when=FIRST_COMPLETED,
                 )
@@ -272,8 +293,7 @@ class BatchRunner:
                     # Watchdog: nothing finished within stall_timeout.
                     # Record the stragglers and abandon the pool.
                     batch.interrupted = True
-                    for future in not_done:
-                        task = futures[future]
+                    for future, task in in_flight.items():
                         cancelled = future.cancel()
                         if not cancelled:
                             result = TaskResult(
@@ -288,11 +308,22 @@ class BatchRunner:
                         manifest.write_note("stall watchdog expired")
                     executor.shutdown(wait=False, cancel_futures=True)
                     return
+                pool_broken = False
                 for future in done:
-                    task = futures[future]
+                    task = in_flight.pop(future)
                     try:
                         result = future.result()
-                    except Exception as error:  # BrokenProcessPool etc.
+                    except BrokenProcessPool as error:
+                        # A worker process died (SIGKILL, OOM,
+                        # segfault).  ``crashed`` is not a completed
+                        # status, so --resume retries it.
+                        pool_broken = True
+                        result = TaskResult(
+                            task_id=task.task_id,
+                            status="crashed",
+                            error=f"worker process died: {error}",
+                        )
+                    except Exception as error:
                         result = TaskResult(
                             task_id=task.task_id,
                             status="failed",
@@ -300,6 +331,36 @@ class BatchRunner:
                         )
                     batch.results.append(result)
                     self._record(manifest, task, result)
+                if pool_broken:
+                    # Every in-flight future is poisoned with it.
+                    self.obs.counter("runner.pool.crashes").inc()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    for future, task in list(in_flight.items()):
+                        result = TaskResult(
+                            task_id=task.task_id,
+                            status="crashed",
+                            error="worker process died (pool lost)",
+                        )
+                        batch.results.append(result)
+                        self._record(manifest, task, result)
+                    in_flight.clear()
+                    if rebuilt:
+                        # Two broken pools in one run: the problem is
+                        # systemic, stop retrying and report partial.
+                        batch.interrupted = True
+                        if manifest is not None:
+                            manifest.write_note(
+                                "process pool crashed twice; giving up"
+                            )
+                        return
+                    rebuilt = True
+                    self.obs.counter("runner.pool.rebuilds").inc()
+                    if manifest is not None:
+                        manifest.write_note(
+                            "process pool crashed; rebuilt once"
+                        )
+                    executor = self._make_executor()
+                submit()
             executor.shutdown()
         except KeyboardInterrupt:
             executor.shutdown(wait=False, cancel_futures=True)

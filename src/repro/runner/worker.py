@@ -162,6 +162,12 @@ def execute_task(
             if task.kind == "_sleep":  # stall-watchdog test hook
                 time.sleep(float(task.spec))
                 pages, status, payload = [], "ok", None
+            elif task.kind == "_kill":  # pool-crash test hook
+                import os
+                import signal
+
+                os.kill(os.getpid(), signal.SIGKILL)
+                raise AssertionError("unreachable")
             else:
                 handler = {
                     "sample_dir": _run_sample_dir,

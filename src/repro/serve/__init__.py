@@ -24,16 +24,30 @@ Module map (request logic is transport-free by design):
   (:class:`SegmentationService`);
 * :mod:`~repro.serve.http` — stdlib HTTP front end with a bounded
   worker pool, admission control (429 + Retry-After), per-request
-  deadlines (504), ``/healthz``, ``/metricz`` and graceful SIGTERM
-  draining (:class:`SegmentationServer`);
+  deadlines (504), a hung-handler watchdog, ``/healthz``,
+  ``/metricz`` and graceful SIGTERM draining
+  (:class:`SegmentationServer`);
+* :mod:`~repro.serve.supervisor` — multi-process serving: a parent
+  holds the ``SO_REUSEPORT`` port and keeps N worker processes alive
+  via heartbeats, exponential-backoff restarts and a rolling crash
+  budget (:class:`Supervisor`);
+* :mod:`~repro.serve.chaos` — seeded fault injection for the serving
+  path: worker kills, hung handlers, slow/corrupt cache reads,
+  disk-full writes (:class:`ChaosPlan`);
 * :mod:`~repro.serve.client` — stdlib client for tests, smoke jobs
-  and benchmarks.
+  and benchmarks, with bounded seeded-jitter retries.
 
-CLI: ``repro serve --port 8080 --workers 4 --max-queue 16
+CLI: ``repro serve --port 8080 --procs 4 --workers 4 --max-queue 16
 --wrapper-cache-dir ./wrappers``.  Full endpoint and capacity-knob
 reference: ``docs/serving.md``.
 """
 
+from repro.serve.chaos import (
+    ChaosInjector,
+    ChaosPlan,
+    ChaosStageCache,
+    load_chaos_plan,
+)
 from repro.serve.client import (
     ServeClient,
     ServeResponse,
@@ -48,17 +62,35 @@ from repro.serve.service import (
     ServeError,
     ServiceConfig,
 )
+from repro.serve.supervisor import (
+    CrashBudget,
+    RestartBackoff,
+    Supervisor,
+    SupervisorConfig,
+    run_worker,
+    supports_reuse_port,
+)
 
 __all__ = [
+    "ChaosInjector",
+    "ChaosPlan",
+    "ChaosStageCache",
+    "CrashBudget",
     "DriftVerdict",
+    "RestartBackoff",
     "SegmentationServer",
     "SegmentationService",
     "ServeClient",
     "ServeError",
     "ServeResponse",
     "ServiceConfig",
+    "Supervisor",
+    "SupervisorConfig",
     "WrapperRegistry",
+    "load_chaos_plan",
     "payload_from_pages",
     "payload_from_sample",
+    "run_worker",
+    "supports_reuse_port",
     "wrapped_page_quality",
 ]

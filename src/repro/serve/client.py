@@ -1,19 +1,30 @@
 """Minimal stdlib client for the segmentation service.
 
 Used by the tests, the CI smoke job (``tools/serve_smoke.py``) and the
-serving benchmark — anything that needs to talk to a running ``repro
+serving benchmarks — anything that needs to talk to a running ``repro
 serve`` without pulling in an HTTP library.  Every call returns a
 :class:`ServeResponse` (status + parsed JSON + headers); HTTP error
 statuses are returned, not raised, because callers routinely *assert
 on* 429/503/504.  Only transport-level failures (connection refused,
 socket timeout) raise, as :class:`urllib.error.URLError`.
 
+With ``max_retries > 0`` the client absorbs the transient failures a
+supervised multi-process server exhibits: 429 (queue full) and 503
+(worker draining) responses, and connection resets (a worker
+SIGKILLed mid-request, its replacement still binding).  Retries are
+bounded, honor the server's ``Retry-After`` hint, and back off
+exponentially with *seeded* jitter — the delay sequence is a pure
+function of ``(retry_seed, path, attempt)`` via the same SHA-256 draw
+the fault plans use, so a retry storm in a test or benchmark replays
+identically.  The default ``max_retries=0`` preserves the historical
+return-the-429 behavior the capacity tests assert on.
+
 Building a payload from pages on disk::
 
     from repro.webdoc.store import load_sample
     from repro.serve.client import ServeClient, payload_from_sample
 
-    client = ServeClient("http://127.0.0.1:8080")
+    client = ServeClient("http://127.0.0.1:8080", max_retries=3)
     sample = load_sample("./corpus/lee")
     response = client.segment(payload_from_sample(sample))
     assert response.status == 200 and response.body["path"] in (
@@ -23,12 +34,15 @@ Building a payload from pages on disk::
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
 from typing import Any
 
+from repro.sitegen.faults import stable_unit
 from repro.webdoc.page import Page
 from repro.webdoc.store import PageSample
 
@@ -38,6 +52,9 @@ __all__ = [
     "payload_from_pages",
     "payload_from_sample",
 ]
+
+#: HTTP statuses worth retrying: shed load (429) and draining (503).
+RETRY_STATUSES = frozenset({429, 503})
 
 
 @dataclass(frozen=True)
@@ -91,13 +108,87 @@ class ServeClient:
     Args:
         base_url: e.g. ``"http://127.0.0.1:8080"`` (no trailing slash).
         timeout_s: socket timeout per request.
+        max_retries: extra attempts on 429/503 or a transport failure
+            (0 = never retry, the historical behavior).
+        retry_base_s: first backoff delay; doubles per attempt.
+        retry_max_s: backoff (and honored Retry-After) ceiling.
+        retry_seed: seed of the deterministic jitter draw.
+
+    Attributes:
+        retries: total retries this client has performed.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 60.0,
+        max_retries: int = 0,
+        retry_base_s: float = 0.05,
+        retry_max_s: float = 2.0,
+        retry_seed: int = 0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.retry_base_s = retry_base_s
+        self.retry_max_s = retry_max_s
+        self.retry_seed = retry_seed
+        self.retries = 0
+
+    def retry_delay(
+        self, path: str, attempt: int, retry_after: str | None = None
+    ) -> float:
+        """The backoff before retry ``attempt`` (deterministic).
+
+        Exponential from ``retry_base_s``, raised to the server's
+        ``Retry-After`` hint when one was sent, capped at
+        ``retry_max_s``, then jittered into [0.5x, 1.5x) by a draw
+        that is a pure function of ``(retry_seed, path, attempt)``.
+        """
+        delay = min(self.retry_base_s * (2 ** attempt), self.retry_max_s)
+        if retry_after is not None:
+            try:
+                hinted = float(retry_after)
+            except ValueError:
+                hinted = 0.0
+            delay = min(max(delay, hinted), self.retry_max_s)
+        jitter = stable_unit(f"{self.retry_seed}:{path}:{attempt}")
+        return delay * (0.5 + jitter)
 
     def _request(
+        self, path: str, body: dict[str, Any] | None = None
+    ) -> ServeResponse:
+        attempt = 0
+        while True:
+            try:
+                response = self._exchange(path, body)
+            except (
+                urllib.error.URLError,
+                ConnectionError,
+                http.client.HTTPException,
+            ):
+                # A worker died mid-exchange or nothing is listening
+                # yet; both heal under a supervisor — worth retrying.
+                if attempt >= self.max_retries:
+                    raise
+                delay = self.retry_delay(path, attempt)
+            else:
+                if (
+                    response.status not in RETRY_STATUSES
+                    or attempt >= self.max_retries
+                ):
+                    return response
+                delay = self.retry_delay(
+                    path, attempt, response.headers.get("Retry-After")
+                )
+            self.retries += 1
+            attempt += 1
+            if delay > 0:
+                time.sleep(delay)
+
+    def _exchange(
         self, path: str, body: dict[str, Any] | None = None
     ) -> ServeResponse:
         url = f"{self.base_url}{path}"

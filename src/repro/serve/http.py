@@ -16,10 +16,32 @@ server real capacity behavior instead of thread-per-request collapse:
   ``504``; a worker that dequeues an already-expired or abandoned job
   drops it (``serve.deadline_drops``) rather than burning CPU on an
   answer nobody is waiting for;
+* **a hung-handler watchdog** — a worker thread stuck inside a
+  request (a wedged wrapper, an injected chaos hang) cannot shrink
+  the pool: once a job sits past ``deadline + hung_grace_s`` the
+  watchdog finalizes it as a 504 and starts a replacement worker
+  thread, so capacity recovers instead of leaking one thread per
+  hang (``serve.watchdog.*`` counters);
 * **graceful shutdown** — SIGTERM/SIGINT flips the server to
   *draining*: new ``/v1/segment`` requests get ``503`` (``/healthz``
   keeps answering, reporting ``"draining"``), queued jobs finish,
-  workers join, and ``run()`` returns 0.
+  workers join, and ``run()`` returns 0.  ``shutdown()`` is
+  idempotent — concurrent or repeated calls are safe.
+
+Every job is finalized exactly once (:meth:`SegmentationServer._finalize`),
+whether by the worker that ran it, the watchdog that gave up on it,
+or the deadline drop — so the in-flight gauge can never leak and wedge
+the drain loop.
+
+Supervised operation (:mod:`repro.serve.supervisor`) adds two hooks:
+``reuse_port=True`` binds with ``SO_REUSEPORT`` so N worker processes
+share one port, and the supervisor's control pipe feeds
+:attr:`~SegmentationServer.external_status` (``/healthz`` reports
+``"degraded"`` when the parent says so) and
+:attr:`~SegmentationServer.external_metrics` (the parent's
+``serve.supervisor.*`` counters folded into ``/metricz``).  A
+``request_hook`` callable, when set, runs before each dequeued job —
+the chaos harness's injection point.
 
 Endpoints::
 
@@ -38,19 +60,25 @@ from __future__ import annotations
 import json
 import queue
 import signal
+import socket
 import threading
 import time
 import uuid
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Callable
 
+from repro.core.exceptions import ConfigError
+from repro.obs import Clock
 from repro.serve.service import SegmentationService, ServeError
 
 __all__ = ["SegmentationServer"]
 
+#: How often the hung-handler watchdog scans the in-flight set.
+_WATCHDOG_INTERVAL_S = 0.1
 
-@dataclass
+
+@dataclass(eq=False)
 class _Job:
     """One queued segmentation request."""
 
@@ -61,6 +89,7 @@ class _Job:
     response: dict[str, Any] | None = None
     error: ServeError | None = None
     abandoned: bool = False
+    finalized: bool = False
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now >= self.deadline
@@ -73,6 +102,11 @@ class SegmentationServer:
         service: the request logic (owns registry, metrics, config).
         host: bind address.
         port: bind port (0 = ephemeral; see :attr:`port` after start).
+        reuse_port: bind with ``SO_REUSEPORT`` so several worker
+            processes (under :mod:`repro.serve.supervisor`) listen on
+            one port.
+        clock: injectable time source for deadlines and drain timing
+            (default: ``time.monotonic``); tests use ``ManualClock``.
     """
 
     def __init__(
@@ -80,17 +114,43 @@ class SegmentationServer:
         service: SegmentationService,
         host: str = "127.0.0.1",
         port: int = 8080,
+        reuse_port: bool = False,
+        clock: Clock | None = None,
     ) -> None:
         self.service = service
         config = service.config
+        self._now: Callable[[], float] = (
+            clock.now if clock is not None else time.monotonic
+        )
         self.queue: "queue.Queue[_Job]" = queue.Queue(maxsize=config.max_queue)
         self.draining = threading.Event()
+        self.request_hook: Callable[[], None] | None = None
+        self.external_status: str | None = None
+        self.external_metrics: dict[str, Any] | None = None
         self._workers: list[threading.Thread] = []
         self._in_flight = 0
         self._in_flight_lock = threading.Lock()
+        self._active: set[_Job] = set()
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = False
+        self._stop = threading.Event()
         self.httpd = ThreadingHTTPServer(
-            (host, port), self._handler_class(), bind_and_activate=True
+            (host, port), self._handler_class(), bind_and_activate=False
         )
+        if reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise ConfigError(
+                    "SO_REUSEPORT is not available on this platform"
+                )
+            self.httpd.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+        try:
+            self.httpd.server_bind()
+            self.httpd.server_activate()
+        except BaseException:
+            self.httpd.server_close()
+            raise
         self.httpd.daemon_threads = True
 
     # -- facts ---------------------------------------------------------------
@@ -123,10 +183,14 @@ class SegmentationServer:
                 return
             with self._in_flight_lock:
                 self._in_flight += 1
+                self._active.add(job)
             try:
-                if job.abandoned or job.expired(time.monotonic()):
+                if job.abandoned or job.expired(self._now()):
                     drops.inc()
                     continue
+                hook = self.request_hook
+                if hook is not None:
+                    hook()
                 try:
                     job.response = self.service.segment(
                         job.payload, trace_id=job.trace_id
@@ -138,22 +202,73 @@ class SegmentationServer:
                         500, f"{type(error).__name__}: {error}"
                     )
             finally:
-                with self._in_flight_lock:
-                    self._in_flight -= 1
-                job.done.set()
+                first = self._finalize(job)
                 self.queue.task_done()
+                if not first:
+                    # The watchdog already 504'd this job and started a
+                    # replacement thread; this one retires on waking.
+                    return
+
+    def _finalize(self, job: _Job, error: ServeError | None = None) -> bool:
+        """Close out one job exactly once; False if already finalized.
+
+        The single place the in-flight gauge decrements, shared by the
+        worker that ran the job and the watchdog that gave up on it —
+        double accounting here would leak the gauge and wedge drains.
+        """
+        with self._in_flight_lock:
+            if job.finalized:
+                return False
+            job.finalized = True
+            self._in_flight -= 1
+            self._active.discard(job)
+        if error is not None and job.response is None and job.error is None:
+            job.error = error
+        job.done.set()
+        return True
+
+    def _spawn_worker(self, replacement: bool = False) -> None:
+        thread = threading.Thread(
+            target=self._worker_loop,
+            name=f"serve-worker-{len(self._workers)}",
+            daemon=True,
+        )
+        thread.start()
+        self._workers.append(thread)
+        if replacement:
+            self.service.metrics.counter("serve.watchdog.replacements").inc()
+
+    def _watchdog_loop(self) -> None:
+        """Convert handler threads stuck past their deadline into 504s."""
+        grace = self.service.config.hung_grace_s
+        hung = self.service.metrics.counter("serve.watchdog.hung_requests")
+        while not self.draining.is_set():
+            now = self._now()
+            with self._in_flight_lock:
+                stuck = [
+                    job
+                    for job in self._active
+                    if job.deadline is not None
+                    and now >= job.deadline + grace
+                ]
+            for job in stuck:
+                if self._finalize(
+                    job, error=ServeError(504, "request hung past deadline")
+                ):
+                    hung.inc()
+                    self._spawn_worker(replacement=True)
+            time.sleep(_WATCHDOG_INTERVAL_S)
 
     def _start_workers(self) -> None:
         if self._workers:
             return
-        for index in range(self.service.config.workers):
+        for _ in range(self.service.config.workers):
+            self._spawn_worker()
+        if self.service.config.hung_grace_s is not None:
             thread = threading.Thread(
-                target=self._worker_loop,
-                name=f"serve-worker-{index}",
-                daemon=True,
+                target=self._watchdog_loop, name="serve-watchdog", daemon=True
             )
             thread.start()
-            self._workers.append(thread)
 
     # -- request paths -------------------------------------------------------
 
@@ -167,7 +282,7 @@ class SegmentationServer:
             raise ServeError(503, "server is draining")
         budget = self.service.config.request_budget
         deadline = (
-            time.monotonic() + budget.deadline_s
+            self._now() + budget.deadline_s
             if budget.deadline_s is not None
             else None
         )
@@ -188,7 +303,7 @@ class SegmentationServer:
         timeout = (
             None
             if job.deadline is None
-            else max(job.deadline - time.monotonic(), 0.0)
+            else max(job.deadline - self._now(), 0.0)
         )
         if not job.done.wait(timeout):
             job.abandoned = True
@@ -208,13 +323,28 @@ class SegmentationServer:
         return max(1, int(mean * (self.queue.qsize() + 1) + 0.5))
 
     def _health_body(self) -> dict[str, Any]:
+        if self.draining.is_set():
+            status = "draining"
+        else:
+            status = self.external_status or "ok"
         return self.service.health(
-            status="draining" if self.draining.is_set() else "ok",
+            status=status,
             queue_depth=self.queue_depth(),
             queue_limit=self.service.config.max_queue,
             workers=self.service.config.workers,
             in_flight=self.in_flight(),
         )
+
+    def _metricz_body(self) -> dict[str, Any]:
+        """The service registry, plus the supervisor's folded snapshot."""
+        body = self.service.metrics_dict()
+        extra = self.external_metrics
+        if extra:
+            for section in ("counters", "histograms"):
+                merged = dict(body.get(section, {}))
+                merged.update(extra.get(section, {}))
+                body[section] = merged
+        return body
 
     # -- HTTP plumbing -------------------------------------------------------
 
@@ -263,7 +393,7 @@ class SegmentationServer:
                 if self.path == "/healthz":
                     self._reply(200, server._health_body(), trace_id)
                 elif self.path == "/metricz":
-                    self._reply(200, server.service.metrics_dict(), trace_id)
+                    self._reply(200, server._metricz_body(), trace_id)
                 elif self.path == "/v1/segment":
                     self._error(ServeError(405, "use POST"), trace_id)
                 else:
@@ -314,16 +444,19 @@ class SegmentationServer:
     def shutdown(self, drain_timeout_s: float = 30.0) -> None:
         """Graceful stop: refuse new work, finish queued work, join.
 
-        Safe to call more than once.
+        Idempotent: repeated or concurrent calls after the first
+        return immediately.
         """
-        if self.draining.is_set():
-            return
+        with self._shutdown_lock:
+            if self._shutdown_done:
+                return
+            self._shutdown_done = True
         self.draining.set()
-        deadline = time.monotonic() + drain_timeout_s
+        deadline = self._now() + drain_timeout_s
         # Let queued jobs finish (workers skip expired ones anyway).
-        while self.queue.qsize() > 0 and time.monotonic() < deadline:
+        while self.queue.qsize() > 0 and self._now() < deadline:
             time.sleep(0.01)
-        while self.in_flight() > 0 and time.monotonic() < deadline:
+        while self.in_flight() > 0 and self._now() < deadline:
             time.sleep(0.01)
         for _ in self._workers:
             try:
@@ -331,16 +464,19 @@ class SegmentationServer:
             except queue.Full:
                 break
         for worker in self._workers:
-            worker.join(timeout=max(deadline - time.monotonic(), 0.1))
+            worker.join(timeout=max(deadline - self._now(), 0.1))
         self.httpd.shutdown()
         self.httpd.server_close()
 
+    def request_stop(self) -> None:
+        """Ask a blocking :meth:`run` to drain and return (thread-safe)."""
+        self._stop.set()
+
     def run(self, out=None, install_signals: bool = True) -> int:
         """Blocking CLI entry: serve until SIGTERM/SIGINT, drain, exit 0."""
-        stop = threading.Event()
 
         def _on_signal(signum: int, frame: Any) -> None:
-            stop.set()
+            self._stop.set()
 
         if install_signals:
             signal.signal(signal.SIGTERM, _on_signal)
@@ -349,7 +485,7 @@ class SegmentationServer:
         if out is not None:
             print(f"listening on {self.address}", file=out, flush=True)
         try:
-            stop.wait()
+            self._stop.wait()
         except KeyboardInterrupt:
             pass
         if out is not None:

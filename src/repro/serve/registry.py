@@ -18,7 +18,10 @@ thread-safe map ``(site, method) -> RowWrapper`` with two tiers:
   treated as a miss.
 
 Lookups and stores are booked into ``serve.registry.*`` counters
-(memory hits / disk hits / misses / stores / invalidations).
+(memory hits / disk hits / misses / stores / invalidations, plus
+``load_errors``/``store_errors`` when the disk tier itself fails — a
+broken disk degrades the registry to memory-only, it never takes a
+request down).
 """
 
 from __future__ import annotations
@@ -85,9 +88,14 @@ class WrapperRegistry:
             self.obs.counter("serve.registry.memory_hits").inc()
             return wrapper
         if self.cache is not None:
-            found, data = self.cache.load(
-                WRAPPER_STAGE, self._key(site_id, method)
-            )
+            try:
+                found, data = self.cache.load(
+                    WRAPPER_STAGE, self._key(site_id, method)
+                )
+            except OSError:
+                # A failing disk tier degrades to a cold one.
+                self.obs.counter("serve.registry.load_errors").inc()
+                found, data = False, None
             if found:
                 try:
                     wrapper = wrapper_from_dict(data)
@@ -102,15 +110,23 @@ class WrapperRegistry:
         return None
 
     def put(self, site_id: str, method: str, wrapper: RowWrapper) -> None:
-        """Cache ``wrapper`` in memory and, when wired, on disk."""
+        """Cache ``wrapper`` in memory and, when wired, on disk.
+
+        A disk-tier write failure (full disk, dead mount) is absorbed:
+        the memory tier still answers this process's traffic, only the
+        crash-survivability of the entry is lost.
+        """
         with self._lock:
             self._wrappers[(site_id, method)] = wrapper
         if self.cache is not None:
-            self.cache.store(
-                WRAPPER_STAGE,
-                self._key(site_id, method),
-                wrapper_to_dict(wrapper),
-            )
+            try:
+                self.cache.store(
+                    WRAPPER_STAGE,
+                    self._key(site_id, method),
+                    wrapper_to_dict(wrapper),
+                )
+            except OSError:
+                self.obs.counter("serve.registry.store_errors").inc()
         self.obs.counter("serve.registry.stores").inc()
 
     def invalidate(self, site_id: str, method: str) -> bool:

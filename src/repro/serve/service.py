@@ -206,6 +206,10 @@ class ServiceConfig:
         max_queue: admission-control queue depth (HTTP layer); a full
             queue answers 429 with a Retry-After hint.
         max_body_bytes: request bodies above this are refused (413).
+        hung_grace_s: how long past its deadline an in-flight request
+            may sit before the HTTP layer's watchdog finalizes it as a
+            504 and replaces the wedged worker thread (None disables
+            the watchdog).
     """
 
     method: str = "prob"
@@ -218,6 +222,7 @@ class ServiceConfig:
     workers: int = 2
     max_queue: int = 8
     max_body_bytes: int = 16 * 1024 * 1024
+    hung_grace_s: float | None = 5.0
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -226,6 +231,8 @@ class ServiceConfig:
             raise ConfigError("drift_threshold must lie in [0, 1]")
         if self.workers < 1 or self.max_queue < 1:
             raise ConfigError("workers and max_queue must be >= 1")
+        if self.hung_grace_s is not None and self.hung_grace_s < 0.0:
+            raise ConfigError("hung_grace_s must be >= 0 (or None)")
 
 
 class SegmentationService:

@@ -1,0 +1,147 @@
+"""Tests for the serve-side chaos harness (serve/chaos.py)."""
+
+from __future__ import annotations
+
+import errno
+import json
+
+import pytest
+
+from repro.core.exceptions import ConfigError
+from repro.core.pipeline import SegmentationPipeline
+from repro.obs import MetricsRegistry, Observability
+from repro.runner.cache import StageCache
+from repro.serve import WrapperRegistry
+from repro.serve.chaos import ChaosPlan, ChaosStageCache, load_chaos_plan
+from repro.sitegen.corpus import build_site
+from repro.wrapper import induce_wrapper
+
+
+@pytest.fixture(scope="module")
+def trained_wrapper():
+    site = build_site("ohio")
+    run = SegmentationPipeline("prob").segment_site(
+        site.list_pages,
+        [site.detail_pages(index) for index in range(len(site.list_pages))],
+    )
+    sample = next(page for page in run.pages if page.segmentation.records)
+    return induce_wrapper(sample, run.template_verdict)
+
+
+class TestChaosPlan:
+    def test_equal_plans_make_identical_schedules(self):
+        a = ChaosPlan(seed=7, kill_rate=0.1, hang_rate=0.05)
+        b = ChaosPlan(seed=7, kill_rate=0.1, hang_rate=0.05)
+        assert a.schedule(0, 0, 500) == b.schedule(0, 0, 500)
+        assert a.schedule(1, 2, 500) == b.schedule(1, 2, 500)
+
+    def test_different_seeds_differ(self):
+        a = ChaosPlan(seed=1, kill_rate=0.2)
+        b = ChaosPlan(seed=2, kill_rate=0.2)
+        assert a.schedule(0, 0, 500) != b.schedule(0, 0, 500)
+
+    def test_generation_decorrelates_restarts(self):
+        # A restarted worker must not deterministically re-crash at
+        # the same request index — that would spiral the crash budget.
+        plan = ChaosPlan(seed=3, kill_rate=0.3)
+        assert plan.schedule(0, 0, 200) != plan.schedule(0, 1, 200)
+
+    def test_rates_roughly_hold(self):
+        plan = ChaosPlan(seed=11, kill_rate=0.25)
+        kills = len(plan.schedule(0, 0, 2000))
+        assert 0.18 <= kills / 2000 <= 0.32
+
+    def test_kill_and_hang_share_one_draw(self):
+        plan = ChaosPlan(seed=5, kill_rate=0.3, hang_rate=0.3)
+        faults = [fault for _, fault in plan.schedule(0, 0, 1000)]
+        assert set(faults) == {"kill", "hang"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kill_rate": -0.1},
+            {"hang_rate": 1.5},
+            {"kill_rate": 0.6, "hang_rate": 0.6},
+            {"cache_corrupt_rate": 0.7, "cache_slow_rate": 0.7},
+            {"hang_s": -1.0},
+            {"cache_slow_s": -0.5},
+        ],
+    )
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ChaosPlan(**kwargs)
+
+    def test_json_round_trip(self, tmp_path):
+        plan = ChaosPlan(seed=9, kill_rate=0.02, disk_full_rate=0.5)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.as_dict()))
+        assert load_chaos_plan(path) == plan
+
+    def test_load_rejects_garbage(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ConfigError):
+            load_chaos_plan(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_chaos_plan(bad)
+        wrong_shape = tmp_path / "list.json"
+        wrong_shape.write_text("[1, 2]")
+        with pytest.raises(ConfigError):
+            load_chaos_plan(wrong_shape)
+        unknown = tmp_path / "unknown.json"
+        unknown.write_text('{"seed": 1, "typo_rate": 0.5}')
+        with pytest.raises(ConfigError):
+            load_chaos_plan(unknown)
+
+
+class TestChaosStageCache:
+    def test_corrupt_read_is_a_miss(self, tmp_path):
+        inner = StageCache(tmp_path)
+        inner.store("stage", "k" * 64, {"value": 1})
+        metrics = MetricsRegistry()
+        chaotic = ChaosStageCache(
+            inner, ChaosPlan(seed=0, cache_corrupt_rate=1.0), metrics=metrics
+        )
+        found, value = chaotic.load("stage", "k" * 64)
+        assert not found and value is None
+        assert metrics.counter("serve.chaos.cache_corrupt").value == 1
+        # The entry itself is intact; only the read was poisoned.
+        assert inner.load("stage", "k" * 64) == (True, {"value": 1})
+
+    def test_disk_full_write_raises_enospc(self, tmp_path):
+        metrics = MetricsRegistry()
+        chaotic = ChaosStageCache(
+            StageCache(tmp_path),
+            ChaosPlan(seed=0, disk_full_rate=1.0),
+            metrics=metrics,
+        )
+        with pytest.raises(OSError) as excinfo:
+            chaotic.store("stage", "k" * 64, {"value": 1})
+        assert excinfo.value.errno == errno.ENOSPC
+        assert metrics.counter("serve.chaos.disk_full").value == 1
+
+    def test_clean_plan_passes_through(self, tmp_path):
+        chaotic = ChaosStageCache(StageCache(tmp_path), ChaosPlan())
+        chaotic.store("stage", "a" * 64, [1, 2])
+        assert chaotic.load("stage", "a" * 64) == (True, [1, 2])
+
+    def test_registry_absorbs_injected_disk_full(
+        self, tmp_path, trained_wrapper
+    ):
+        # The wrapper registry must keep serving from memory when its
+        # disk tier reports a full disk — only crash-survivability of
+        # the entry is lost, never the request.
+        obs = Observability()
+        registry = WrapperRegistry(
+            cache=ChaosStageCache(
+                StageCache(tmp_path),
+                ChaosPlan(seed=0, disk_full_rate=1.0),
+                metrics=obs.metrics,
+            ),
+            obs=obs,
+        )
+        registry.put("ohio", "prob", trained_wrapper)
+        assert registry.get("ohio", "prob") is trained_wrapper
+        assert obs.counter("serve.registry.store_errors").value == 1
+        assert obs.counter("serve.chaos.disk_full").value == 1

@@ -232,6 +232,63 @@ class TestEngineParallel:
         assert batch.interrupted
         assert all(r.status == "timeout" for r in batch.results)
 
+    def test_worker_kill_records_crashed_and_rebuilds_pool(self, tmp_path):
+        # One task SIGKILLs its worker process (an OOM-kill stand-in);
+        # the pool breaks, the engine records the casualties as
+        # ``crashed``, rebuilds once, and finishes the rest.
+        manifest = tmp_path / "run.jsonl"
+        tasks = [
+            SiteTask(task_id="boom", kind="_kill", spec="", cost_hint=100),
+        ] + [
+            SiteTask(
+                task_id=f"sleep{i}", kind="_sleep", spec="0.05", cost_hint=1
+            )
+            for i in range(3)
+        ]
+        obs = Observability()
+        batch = BatchRunner(
+            RunnerConfig(workers=2, manifest_path=str(manifest)), obs=obs
+        ).run(tasks)
+        statuses = {r.task_id: r.status for r in batch.results}
+        assert statuses["boom"] == "crashed"
+        assert not batch.interrupted  # one rebuild is recovery, not failure
+        assert obs.counter("runner.pool.crashes").value == 1
+        assert obs.counter("runner.pool.rebuilds").value == 1
+        # Tasks riding the broken pool are crashed (retryable), the
+        # rest completed on the rebuilt pool; nothing is lost.
+        assert set(statuses) == {"boom", "sleep0", "sleep1", "sleep2"}
+        assert set(statuses.values()) <= {"ok", "crashed"}
+        assert any(status == "ok" for status in statuses.values())
+
+    def test_resume_retries_crashed_tasks(self, tmp_path):
+        manifest = tmp_path / "run.jsonl"
+        tasks = [
+            SiteTask(task_id="boom", kind="_kill", spec="", cost_hint=100),
+            SiteTask(
+                task_id="sleep0", kind="_sleep", spec="0.05", cost_hint=1
+            ),
+        ]
+        config = RunnerConfig(workers=2, manifest_path=str(manifest))
+        first = BatchRunner(config).run(tasks)
+        assert {r.task_id: r.status for r in first.results}["boom"] == "crashed"
+
+        # Resume with the killer replaced by a task that succeeds (the
+        # site was "fixed"); crashed ids re-run, completed ids skip.
+        retry_tasks = [
+            SiteTask(task_id="boom", kind="_sleep", spec="0.01", cost_hint=100),
+            SiteTask(
+                task_id="sleep0", kind="_sleep", spec="0.05", cost_hint=1
+            ),
+        ]
+        second = BatchRunner(
+            RunnerConfig(
+                workers=2, manifest_path=str(manifest), resume=True
+            )
+        ).run(retry_tasks)
+        rerun = {r.task_id for r in second.results}
+        assert "boom" in rerun  # crashed is not a completed status
+        assert all(r.status == "ok" for r in second.results)
+
 
 class TestCliBatch:
     def test_segment_dir_corpus_summary_and_exit(self, tmp_path):

@@ -104,6 +104,21 @@ class TestStageCache:
         fresh = StageCache(tmp_path)
         assert fresh.get_or_compute("s", ("k",), lambda: "new") == "new"
 
+    def test_store_failure_degrades_to_uncached(self, tmp_path):
+        # A full or failing disk costs the cache entry, never the
+        # computed value: get_or_compute still returns the result.
+        cache = StageCache(tmp_path)
+
+        def broken_store(stage, key, value):
+            raise OSError(28, "No space left on device")
+
+        cache.store = broken_store
+        assert cache.get_or_compute("s", ("k",), lambda: "value") == "value"
+        assert cache.stats.store_errors == 1
+        # Nothing was written; the next call recomputes.
+        fresh = StageCache(tmp_path)
+        assert fresh.get_or_compute("s", ("k",), lambda: "again") == "again"
+
 
 class TestEviction:
     """Size-bounded (``max_bytes``) LRU behavior."""

@@ -1,0 +1,166 @@
+"""Tests for the client's bounded, seeded-jitter retries (serve/client.py)."""
+
+from __future__ import annotations
+
+import http.server
+import socket
+import struct
+import threading
+import urllib.error
+
+import pytest
+
+from repro.serve.client import RETRY_STATUSES, ServeClient
+
+
+class FlakyHandler(http.server.BaseHTTPRequestHandler):
+    """Answers from a per-server script of (status, body) entries."""
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):
+        pass
+
+    def _serve(self):
+        script = self.server.script
+        step = script.pop(0) if len(script) > 1 else script[0]
+        status, body = step
+        if status == "reset":
+            # SO_LINGER with zero timeout turns close() into an RST —
+            # the wire signature of a SIGKILLed worker.
+            self.connection.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+            self.connection.close()
+            return
+        data = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(data)
+
+    do_GET = _serve
+    do_POST = _serve
+
+
+@pytest.fixture()
+def scripted_server():
+    servers = []
+
+    def build(script):
+        server = http.server.HTTPServer(("127.0.0.1", 0), FlakyHandler)
+        server.script = list(script)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        servers.append(server)
+        return f"http://127.0.0.1:{server.server_address[1]}"
+
+    yield build
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+class TestRetryDelay:
+    def test_deterministic_for_same_seed(self):
+        a = ServeClient("http://x", retry_seed=42)
+        b = ServeClient("http://x", retry_seed=42)
+        delays_a = [a.retry_delay("/v1/segment", n) for n in range(5)]
+        delays_b = [b.retry_delay("/v1/segment", n) for n in range(5)]
+        assert delays_a == delays_b
+        c = ServeClient("http://x", retry_seed=43)
+        assert [c.retry_delay("/v1/segment", n) for n in range(5)] != delays_a
+
+    def test_exponential_and_capped(self):
+        client = ServeClient(
+            "http://x", retry_base_s=0.1, retry_max_s=0.4, retry_seed=0
+        )
+        # Strip the [0.5x, 1.5x) jitter to check the base schedule.
+        bases = [
+            client.retry_delay("/p", n) / (0.5 + _unit(0, "/p", n))
+            for n in range(4)
+        ]
+        assert bases == pytest.approx([0.1, 0.2, 0.4, 0.4])
+
+    def test_retry_after_raises_delay_but_respects_cap(self):
+        client = ServeClient(
+            "http://x", retry_base_s=0.01, retry_max_s=2.0, retry_seed=0
+        )
+        hinted = client.retry_delay("/p", 0, retry_after="1.5")
+        plain = client.retry_delay("/p", 0)
+        assert hinted > plain
+        capped = client.retry_delay("/p", 0, retry_after="60")
+        assert capped <= 2.0 * 1.5  # cap x max jitter
+        # A malformed hint falls back to the exponential schedule.
+        assert client.retry_delay("/p", 0, retry_after="soon") == plain
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ServeClient("http://x", max_retries=-1)
+
+
+class TestRetryLoop:
+    def test_retries_429_until_success(self, scripted_server):
+        url = scripted_server(
+            [(429, '{"error": "full"}'), (429, '{"error": "full"}'),
+             (200, '{"ok": true}')]
+        )
+        client = ServeClient(
+            url, max_retries=5, retry_base_s=0.01, timeout_s=10.0
+        )
+        response = client.healthz()
+        assert response.status == 200
+        assert client.retries == 2
+
+    def test_exhausted_retries_return_last_429(self, scripted_server):
+        url = scripted_server([(429, '{"error": "full"}')])
+        client = ServeClient(
+            url, max_retries=2, retry_base_s=0.01, timeout_s=10.0
+        )
+        response = client.healthz()
+        assert response.status == 429
+        assert client.retries == 2
+
+    def test_connection_reset_retried(self, scripted_server):
+        url = scripted_server([("reset", ""), (200, '{"ok": true}')])
+        client = ServeClient(
+            url, max_retries=3, retry_base_s=0.01, timeout_s=10.0
+        )
+        response = client.healthz()
+        assert response.status == 200
+        assert client.retries >= 1
+
+    def test_zero_retries_preserves_historical_behavior(
+        self, scripted_server
+    ):
+        url = scripted_server([(429, '{"error": "full"}')])
+        client = ServeClient(url, timeout_s=10.0)  # max_retries=0
+        assert client.healthz().status == 429
+        assert client.retries == 0
+
+    def test_transport_failure_raises_when_exhausted(self):
+        # Nothing listens on this port; refusals burn every retry.
+        client = ServeClient(
+            "http://127.0.0.1:9", max_retries=1, retry_base_s=0.01,
+            timeout_s=2.0,
+        )
+        with pytest.raises((urllib.error.URLError, ConnectionError)):
+            client.healthz()
+        assert client.retries == 1
+
+    def test_non_retryable_status_returns_immediately(self, scripted_server):
+        url = scripted_server([(500, '{"error": "boom"}')])
+        client = ServeClient(url, max_retries=5, retry_base_s=0.01)
+        assert client.healthz().status == 500
+        assert client.retries == 0
+        assert 500 not in RETRY_STATUSES
+
+
+def _unit(seed, path, attempt):
+    from repro.sitegen.faults import stable_unit
+
+    return stable_unit(f"{seed}:{path}:{attempt}")

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import dataclasses
 import http.client
+import io
+import sys
 import threading
 import time
 import urllib.error
@@ -24,7 +26,10 @@ from repro.serve import (
     SegmentationService,
     ServeClient,
     ServiceConfig,
+    Supervisor,
+    SupervisorConfig,
     payload_from_pages,
+    supports_reuse_port,
 )
 from repro.sitegen.corpus import build_site
 from repro.sitegen.site import GeneratedSite, RowLayout
@@ -220,3 +225,197 @@ def test_draining_server_refuses_new_segments(server_factory):
     health = client.healthz()
     assert health.status == 200
     assert health.body["status"] == "draining"
+
+
+def test_shutdown_race_queued_finish_new_refused(server_factory):
+    """SIGTERM with a full queue: queued jobs finish, new ones get 503."""
+    server, client = server_factory(ServiceConfig(workers=1, max_queue=4))
+    statuses: list[int] = []
+    lock = threading.Lock()
+
+    def held():
+        response = client.sleep(0.4)
+        with lock:
+            statuses.append(response.status)
+
+    threads = [threading.Thread(target=held) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    # Wait until one runs and the rest sit in the queue.
+    for _ in range(200):
+        if server.in_flight() >= 1 and server.queue_depth() >= 2:
+            break
+        time.sleep(0.01)
+    shutter = threading.Thread(
+        target=lambda: server.shutdown(drain_timeout_s=10.0)
+    )
+    shutter.start()
+    for _ in range(200):
+        if server.draining.is_set():
+            break
+        time.sleep(0.01)
+    # A request arriving mid-drain is refused at the door...
+    assert client.sleep(0.0).status == 503
+    shutter.join(timeout=15.0)
+    for thread in threads:
+        thread.join(timeout=15.0)
+    # ...while everything already admitted completed.
+    assert statuses == [200, 200, 200]
+
+
+def test_double_shutdown_is_idempotent():
+    from repro.obs import ManualClock
+
+    clock = ManualClock(start=100.0)
+    server = SegmentationServer(
+        SegmentationService(ServiceConfig()), port=0, clock=clock
+    )
+    server.start()
+    server.shutdown(drain_timeout_s=5.0)
+    # Repeat and concurrent calls return immediately, no second close.
+    server.shutdown(drain_timeout_s=5.0)
+    racers = [
+        threading.Thread(target=server.shutdown) for _ in range(4)
+    ]
+    for racer in racers:
+        racer.start()
+    for racer in racers:
+        racer.join(timeout=5.0)
+        assert not racer.is_alive()
+
+
+def test_watchdog_converts_hung_request_to_504(server_factory):
+    config = ServiceConfig(
+        workers=1,
+        max_queue=4,
+        request_budget=CrawlBudget(deadline_s=0.3),
+        hung_grace_s=0.2,
+    )
+    server, client = server_factory(config)
+    hung = client.sleep(5.0)  # wedges the only worker thread
+    assert hung.status == 504
+    metrics = server.service.metrics
+    for _ in range(100):
+        if metrics.counter("serve.watchdog.hung_requests").value >= 1:
+            break
+        time.sleep(0.01)
+    assert metrics.counter("serve.watchdog.hung_requests").value >= 1
+    assert metrics.counter("serve.watchdog.replacements").value >= 1
+    # The replacement thread restored capacity: a fresh request works
+    # even though the original worker is still asleep.
+    assert client.sleep(0.0).status == 200
+    assert server.in_flight() == 0  # the gauge did not leak
+
+
+def test_external_status_and_metrics_surface(server_factory):
+    server, client = server_factory(ServiceConfig())
+    server.external_status = "degraded"
+    server.external_metrics = {
+        "counters": {"serve.supervisor.restarts": 7},
+        "histograms": {},
+    }
+    health = client.healthz()
+    assert health.body["status"] == "degraded"
+    metricz = client.metricz()
+    assert metricz.body["counters"]["serve.supervisor.restarts"] == 7
+    server.external_status = None
+    assert client.healthz().body["status"] == "ok"
+
+
+class TestSupervised:
+    """Full-stack supervised serving: real workers, real SIGKILL."""
+
+    pytestmark = pytest.mark.skipif(
+        not supports_reuse_port(), reason="needs SO_REUSEPORT"
+    )
+
+    @pytest.fixture()
+    def supervised(self, tmp_path):
+        procs = []
+        out = io.StringIO()
+
+        def worker_command(spawn):
+            return [
+                sys.executable, "-m", "repro", "serve",
+                "--port", str(spawn.port),
+                "--workers", "1",
+                "--max-queue", "8",
+                "--wrapper-cache-dir", str(tmp_path / "wrappers"),
+                "--_worker-index", str(spawn.index),
+                "--_generation", str(spawn.generation),
+                "--_heartbeat-fd", str(spawn.heartbeat_fd),
+                "--_heartbeat-interval", str(spawn.heartbeat_interval_s),
+            ]
+
+        supervisor = Supervisor(
+            worker_command,
+            SupervisorConfig(
+                procs=2,
+                crash_budget=8,
+                crash_window_s=60.0,
+                backoff_base_s=0.05,
+                backoff_max_s=0.5,
+                heartbeat_interval_s=0.1,
+                heartbeat_timeout_s=10.0,
+                drain_grace_s=15.0,
+            ),
+            port=0,
+            out=out,
+        )
+        codes: list[int] = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                supervisor.run(install_signals=False)
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if supervisor.live_workers() == 2:
+                break
+            time.sleep(0.05)
+        client = ServeClient(
+            supervisor.address,
+            timeout_s=120.0,
+            max_retries=6,
+            retry_base_s=0.1,
+        )
+        # Wait until a worker actually answers (binding takes a beat).
+        while time.monotonic() < deadline:
+            try:
+                if client.healthz().status == 200:
+                    break
+            except (urllib.error.URLError, ConnectionError):
+                time.sleep(0.1)
+        yield supervisor, client, codes
+        supervisor.stop()
+        thread.join(timeout=30.0)
+
+    def test_sigkill_mid_load_recovers_byte_identical(self, supervised):
+        supervisor, client, codes = supervised
+        site = build_site("lee")
+        payload = site_payload(site, "lee")
+        cold = client.segment(payload)
+        assert cold.status == 200
+        warm = client.segment(payload)
+        assert warm.status == 200
+
+        victim = supervisor._slots[0].process
+        victim.kill()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            slot = supervisor._slots[0]
+            if slot.process is not None and slot.process.pid != victim.pid:
+                break
+            time.sleep(0.05)
+        assert supervisor._slots[0].generation >= 1
+
+        # The retrying client rides out the reset; the answer is
+        # byte-identical because the replacement warms from the shared
+        # disk registry rather than re-inducing.
+        after = client.segment(payload)
+        assert after.status == 200
+        assert after.body["pages"] == warm.body["pages"]
+        restarts = supervisor.metrics.counter("serve.supervisor.restarts")
+        assert restarts.value >= 1

@@ -3,7 +3,7 @@
 
 What the in-process tests cannot prove, this does: the CLI entry
 point, signal handling, and socket behavior of an actual server
-process.  The script
+process.  The default mode
 
 1. starts ``python -m repro serve --port 0 --workers 1 --max-queue 1``
    and reads the bound address from its stdout;
@@ -16,18 +16,35 @@ process.  The script
 5. checks the ``serve.*`` counters on ``/metricz``;
 6. sends SIGTERM and expects a graceful drain and exit code 0.
 
+With ``--supervised`` it instead smokes the multi-process supervisor:
+
+1. starts ``repro serve --procs 2`` and parses the supervisor's
+   worker-spawn lines for PIDs;
+2. warms a site, then SIGKILLs one worker mid-load while a retrying
+   client keeps firing requests;
+3. expects availability >= 99% once restarts are riding (only the
+   killed worker's in-flight requests may fail), the supervisor's
+   restart counters on ``/metricz``, and post-restart responses
+   byte-identical to the pre-kill warm answer (the replacement warms
+   from the shared disk registry);
+4. sends SIGTERM and expects a rolling drain and exit code 0.
+
 Exits non-zero on the first failed expectation.  Run from the repo
 root (CI does)::
 
     PYTHONPATH=src python tools/serve_smoke.py
+    PYTHONPATH=src python tools/serve_smoke.py --supervised
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import re
 import signal
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 
@@ -35,7 +52,7 @@ from repro.serve.client import ServeClient, payload_from_pages
 from repro.sitegen.corpus import build_site
 
 START_TIMEOUT_S = 30.0
-EXIT_TIMEOUT_S = 30.0
+EXIT_TIMEOUT_S = 60.0
 
 
 def fail(message: str) -> None:
@@ -49,11 +66,12 @@ def check(condition: bool, message: str) -> None:
     print(f"ok: {message}")
 
 
-def start_server() -> tuple[subprocess.Popen, str]:
+def start_server(extra_args=()) -> tuple[subprocess.Popen, str]:
     process = subprocess.Popen(
         [
-            sys.executable, "-m", "repro", "serve",
+            sys.executable, "-u", "-m", "repro", "serve",
             "--port", "0", "--workers", "1", "--max-queue", "1",
+            *extra_args,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -71,6 +89,121 @@ def start_server() -> tuple[subprocess.Popen, str]:
     process.kill()
     fail("server never reported its address")
     raise AssertionError  # unreachable
+
+
+def site_payload():
+    site = build_site("ohio")
+    return payload_from_pages(
+        "ohio",
+        site.list_pages,
+        [site.detail_pages(i) for i in range(len(site.list_pages))],
+    )
+
+
+def read_worker_pids(process, expected, deadline_s=START_TIMEOUT_S):
+    """Parse ``worker N spawned pid=...`` lines from the supervisor."""
+    pids = {}
+    deadline = time.monotonic() + deadline_s
+    while len(pids) < expected and time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            fail(f"supervisor exited early with code {process.returncode}")
+        match = re.search(r"worker (\d+) spawned pid=(\d+)", line)
+        if match:
+            pids[int(match.group(1))] = int(match.group(2))
+    if len(pids) < expected:
+        fail(f"saw only {len(pids)}/{expected} worker spawns")
+    return pids
+
+
+def main_supervised() -> int:
+    wrapper_dir = tempfile.mkdtemp(prefix="smoke-wrappers-")
+    process, address = start_server(
+        extra_args=(
+            "--procs", "2",
+            "--max-queue", "8",
+            "--wrapper-cache-dir", wrapper_dir,
+        )
+    )
+    print(f"supervisor up at {address}")
+    client = ServeClient(
+        address, timeout_s=120.0, max_retries=6, retry_base_s=0.1
+    )
+    try:
+        pids = read_worker_pids(process, expected=2)
+        print(f"workers: {pids}")
+        check(client.healthz().status == 200, "/healthz answers 200")
+
+        payload = site_payload()
+        cold = client.segment(payload)
+        check(cold.status == 200, "cold request answers 200")
+        warm = client.segment(payload)
+        check(warm.status == 200, "warm request answers 200")
+        check(
+            warm.body["path"] == "wrapper",
+            "warm request takes the wrapper path",
+        )
+
+        # SIGKILL one worker while load is riding; the retrying
+        # client must see near-perfect availability.
+        results = {"ok": 0, "bad": 0}
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def fire():
+            while not stop.is_set():
+                try:
+                    status = client.segment(payload).status
+                except Exception:
+                    status = 0
+                with lock:
+                    results["ok" if status == 200 else "bad"] += 1
+
+        threads = [threading.Thread(target=fire) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(1.0)
+        os.kill(pids[0], signal.SIGKILL)
+        print(f"killed worker 0 (pid {pids[0]})")
+        time.sleep(6.0)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        total = results["ok"] + results["bad"]
+        availability = results["ok"] / total if total else 0.0
+        check(total >= 10, f"load generator made progress ({total} requests)")
+        check(
+            availability >= 0.99,
+            f"availability >= 99% through a worker kill "
+            f"({availability:.4f}, {results['bad']}/{total} failed)",
+        )
+
+        after = client.segment(payload)
+        check(after.status == 200, "post-restart request answers 200")
+        check(
+            after.body["pages"] == warm.body["pages"],
+            "post-restart response byte-identical (warm from disk registry)",
+        )
+        metricz = client.metricz()
+        counters = metricz.body["counters"]
+        check(
+            counters.get("serve.supervisor.restarts", 0) >= 1,
+            "serve.supervisor.restarts visible on /metricz",
+        )
+        check(
+            counters.get("serve.supervisor.reaps", 0) >= 1,
+            "serve.supervisor.reaps visible on /metricz",
+        )
+
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=EXIT_TIMEOUT_S)
+        check(code == 0, f"rolling drain exits 0 (got {code})")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+    print("supervised serve smoke: all checks passed")
+    return 0
 
 
 def main() -> int:
@@ -158,4 +291,11 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="smoke the multi-process supervisor (kill + recovery) instead",
+    )
+    arguments = parser.parse_args()
+    sys.exit(main_supervised() if arguments.supervised else main())
