@@ -248,6 +248,8 @@ def _build_pipeline_graph() -> StageGraph:
             ctx["details"],
             other_list_pages=ctx["other_lists"],
             options=ctx["config"].match,
+            token_table=ctx["token_table"],
+            obs=ctx["obs"],
         ),
         span="pipeline.observations",
         span_attrs=lambda ctx: {"detail_pages": len(ctx["details"])},
@@ -377,6 +379,15 @@ class SegmentationPipeline:
                 "method_config": self._method_config(),
                 "finder": self._finder,
                 "make_segmenter": self._make_segmenter,
+                # Site-scoped intern table: every list page's
+                # observation build shares one id space and one set of
+                # page reductions (detail pages double as other-list
+                # context across pages of the same site).
+                "token_table": self.config.match.make_table(),
+                # The pipeline's bundle, for stages whose compute books
+                # counters directly (the CLI threads obs explicitly and
+                # never installs a global bundle).
+                "obs": self.obs,
             },
             health=crawl_health,
         )

@@ -1,7 +1,12 @@
 """CSP record segmenter (paper Section 4)."""
 
 from repro.csp.constraints import ConstraintSystem, LinearConstraint, Relation
-from repro.csp.encoder import EncoderConfig, SegmentationCsp, encode_segmentation
+from repro.csp.encoder import (
+    EncoderConfig,
+    EncodingMemo,
+    SegmentationCsp,
+    encode_segmentation,
+)
 from repro.csp.exact import ExactConfig, ExactResult, ExactSolver
 from repro.csp.relaxation import RelaxationLevel, encode_at_level
 from repro.csp.segmenter import CspConfig, CspSegmenter
@@ -12,6 +17,7 @@ __all__ = [
     "CspConfig",
     "CspSegmenter",
     "EncoderConfig",
+    "EncodingMemo",
     "ExactConfig",
     "ExactResult",
     "ExactSolver",

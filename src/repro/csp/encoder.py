@@ -34,12 +34,18 @@ The encoder is pure: it reads an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.exceptions import EmptyProblemError
 from repro.csp.constraints import ConstraintSystem, Relation
 from repro.extraction.observations import ObservationTable
 
-__all__ = ["EncoderConfig", "SegmentationCsp", "encode_segmentation"]
+__all__ = [
+    "EncoderConfig",
+    "EncodingMemo",
+    "SegmentationCsp",
+    "encode_segmentation",
+]
 
 
 @dataclass(frozen=True)
@@ -105,6 +111,38 @@ class SegmentationCsp:
             ):
                 result[seq] = record
         return result
+
+
+class EncodingMemo:
+    """Memoizes encodings of one observation table, keyed by rung.
+
+    Encoding is pure, so re-encoding the same table at the same rung
+    rebuilds an identical problem; the memo hands the first one back
+    instead.  The segmenter keeps one memo per ``segment`` call: each
+    rung of the relaxation ladder is encoded at most once, and the
+    all-rungs-failed fallback — which revisits the fully relaxed rung —
+    costs nothing.  A cached problem is shared, not copied, so callers
+    must treat the encoding as frozen once built (the solvers only
+    read it).
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        self._cache: dict[object, SegmentationCsp] = {}
+
+    def get_or_build(
+        self, key: object, build: "Callable[[], SegmentationCsp]"
+    ) -> SegmentationCsp:
+        """The problem cached under ``key``, building it on first use."""
+        problem = self._cache.get(key)
+        if problem is None:
+            problem = build()
+            self._cache[key] = problem
+        return problem
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
 
 def encode_segmentation(

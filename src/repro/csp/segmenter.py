@@ -2,16 +2,28 @@
 
 Orchestrates encoding, solving and relaxation:
 
-1. encode the observation table at the STRICT rung and run the
-   WSAT(OIP)-style local search from a problem-aware seed (every
-   extract dropped into a random record of its ``D_i``, so uniqueness
-   starts satisfied);
-2. if the search fails, optionally ask the exact solver to either find
-   a solution or *prove* unsatisfiability;
-3. on failure, climb the relaxation ladder and repeat;
-4. decode the winning assignment into a
+1. encode the observation table at the STRICT rung (encodings are
+   memoized per rung through an :class:`~repro.csp.encoder.EncodingMemo`,
+   so a rung revisited by the final fallback is never re-encoded);
+2. *probe* the rung with the exact solver first: a proof of
+   unsatisfiability skips the local search entirely — a provably
+   unsatisfiable rung is where the search would otherwise burn its
+   whole flip budget for nothing (see ``docs/performance.md``);
+3. otherwise run the WSAT(OIP)-style local search from a problem-aware
+   seed (every extract dropped into a random record of its ``D_i``, so
+   uniqueness starts satisfied); if the search fails, the probe's
+   satisfying assignment (when it found one) backstops it;
+4. on failure, climb the relaxation ladder and repeat;
+5. decode the winning assignment into a
    :class:`~repro.core.results.Segmentation`, applying the paper's
    rest-of-the-data attachment rule.
+
+The reordering in step 2 is output-preserving: on rungs the probe
+proves unsatisfiable the local search could never have produced a
+solution (its result was always discarded), and on every other rung
+the search runs with exactly the trajectory it always had, so the
+winning rung and assignment — hence the segmentation — are identical
+to the probe-less formulation.
 
 The result's ``meta`` records which rung won, whether a solution was
 found at all, and per-rung solver diagnostics — the inputs for Table
@@ -33,7 +45,7 @@ from dataclasses import dataclass, field
 
 from repro.core.exceptions import EmptyProblemError, SolverBudgetExceededError
 from repro.core.results import Segmentation
-from repro.csp.encoder import EncoderConfig, SegmentationCsp
+from repro.csp.encoder import EncoderConfig, EncodingMemo, SegmentationCsp
 from repro.csp.exact import ExactConfig, ExactSolver
 from repro.csp.relaxation import RelaxationLevel, encode_at_level
 from repro.csp.wsat import WsatConfig, WsatSolver
@@ -106,13 +118,11 @@ class CspSegmenter:
 
     def _segment_traced(self, table: ObservationTable) -> Segmentation:
         attempts: list[dict[str, object]] = []
+        memo = EncodingMemo()
         for level in RelaxationLevel:
             if level.is_relaxed:
                 self.obs.counter("csp.relaxations").inc()
-            problem = encode_at_level(
-                table, level, self.config.encoder,
-                soft_assign=self.config.soft_assign,
-            )
+            problem = self._encode(memo, table, level)
             outcome = self._solve_level(problem, level)
             attempts.append(outcome["diag"])  # type: ignore[index]
             if outcome["assignment"] is not None:
@@ -133,12 +143,8 @@ class CspSegmenter:
         # Every rung failed (even RELAXED, which is unusual): fall back
         # to the best local-search assignment of the last rung so the
         # caller still gets the most consistent partial segmentation.
-        problem = encode_at_level(
-            table,
-            RelaxationLevel.RELAXED,
-            self.config.encoder,
-            soft_assign=self.config.soft_assign,
-        )
+        # The memo makes this revisit of the RELAXED rung free.
+        problem = self._encode(memo, table, RelaxationLevel.RELAXED)
         result = WsatSolver(
             problem.system, self.config.wsat, clock=self.obs.clock
         ).solve(self._seed_assignment(problem))
@@ -159,6 +165,21 @@ class CspSegmenter:
 
     # -- internals ---------------------------------------------------------
 
+    def _encode(
+        self,
+        memo: EncodingMemo,
+        table: ObservationTable,
+        level: RelaxationLevel,
+    ) -> SegmentationCsp:
+        """Encode ``table`` at ``level``, memoized per ``segment`` call."""
+        return memo.get_or_build(
+            level,
+            lambda: encode_at_level(
+                table, level, self.config.encoder,
+                soft_assign=self.config.soft_assign,
+            ),
+        )
+
     def _seed_assignment(self, problem: SegmentationCsp) -> list[int]:
         """Drop each extract into one random record of its ``D_i``."""
         rng = random.Random(self.config.seed)
@@ -177,6 +198,7 @@ class CspSegmenter:
         self.obs.counter("csp.wsat.unsat_constraints").inc(
             result.unsat_constraints
         )
+        self.obs.counter("csp.wsat.delta_evals").inc(result.delta_evals)
 
     def _solve_level(
         self, problem: SegmentationCsp, level: RelaxationLevel
@@ -188,48 +210,79 @@ class CspSegmenter:
             vars=problem.system.num_vars,
             constraints=len(problem.system.constraints),
         ) as span:
+            diag: dict[str, object] = {
+                "level": level.name,
+                "vars": problem.system.num_vars,
+                "constraints": len(problem.system.constraints),
+            }
+            exact_eligible = (
+                self.config.use_exact
+                and problem.system.num_vars <= self.config.exact_var_limit
+            )
+            # Probe rungs that can actually be unsatisfiable before
+            # spending the local-search flip budget: a rung the exact
+            # solver proves unsat is one the search could never satisfy
+            # (its result was always discarded), so skipping the search
+            # there cannot change which rung wins or with what
+            # assignment.  On the paper's dirty sites the proof takes
+            # milliseconds where the doomed search takes seconds.  The
+            # fully relaxed rung is satisfiable by construction (the
+            # empty assignment meets every hard constraint), so a probe
+            # there could never pay off.
+            exact_result = None
+            if exact_eligible and level is not RelaxationLevel.RELAXED:
+                exact_result = self._run_exact(problem, diag, span)
+                if exact_result is not None and not exact_result.satisfiable:
+                    diag["wsat_satisfied"] = False
+                    diag["wsat_skipped"] = True
+                    span.attributes["wsat_satisfied"] = False
+                    self.obs.counter("csp.wsat.skipped_unsat").inc()
+                    return {"assignment": None, "diag": diag}
+
             wsat_result = WsatSolver(
                 problem.system, self.config.wsat, clock=self.obs.clock
             ).solve(self._seed_assignment(problem))
             self._record_wsat(wsat_result)
             span.attributes["wsat_satisfied"] = wsat_result.satisfied
             span.attributes["wsat_flips"] = wsat_result.flips
-            diag: dict[str, object] = {
-                "level": level.name,
-                "wsat_satisfied": wsat_result.satisfied,
-                "wsat_violation": wsat_result.best_violation,
-                "wsat_flips": wsat_result.flips,
-                "wsat_unsat_constraints": wsat_result.unsat_constraints,
-                "vars": problem.system.num_vars,
-                "constraints": len(problem.system.constraints),
-            }
+            diag["wsat_satisfied"] = wsat_result.satisfied
+            diag["wsat_violation"] = wsat_result.best_violation
+            diag["wsat_flips"] = wsat_result.flips
+            diag["wsat_unsat_constraints"] = wsat_result.unsat_constraints
             if wsat_result.satisfied:
                 return {"assignment": wsat_result.assignment, "diag": diag}
 
-            if (
-                self.config.use_exact
-                and problem.system.num_vars <= self.config.exact_var_limit
-            ):
-                self.obs.counter("csp.exact.solves").inc()
-                try:
-                    exact_result = ExactSolver(
-                        problem.system, self.config.exact, clock=self.obs.clock
-                    ).solve()
-                except SolverBudgetExceededError:
-                    diag["exact"] = "budget_exceeded"
-                    span.attributes["exact"] = "budget_exceeded"
-                    self.obs.counter("csp.exact.budget_exceeded").inc()
-                    return {"assignment": None, "diag": diag}
-                self.obs.counter("csp.exact.nodes").inc(exact_result.nodes)
-                self.obs.counter("csp.exact.backtracks").inc(
-                    exact_result.backtracks
-                )
-                diag["exact"] = (
-                    "satisfiable" if exact_result.satisfiable else "unsatisfiable"
-                )
-                diag["exact_nodes"] = exact_result.nodes
-                diag["exact_backtracks"] = exact_result.backtracks
-                span.attributes["exact"] = diag["exact"]
-                if exact_result.satisfiable:
-                    return {"assignment": exact_result.assignment, "diag": diag}
+            if exact_eligible and "exact" not in diag:
+                # The search failed on the one rung the probe skips
+                # (fully relaxed): consult the exact solver now, as the
+                # probe-less formulation always did.
+                exact_result = self._run_exact(problem, diag, span)
+            if exact_result is not None and exact_result.satisfiable:
+                return {"assignment": exact_result.assignment, "diag": diag}
             return {"assignment": None, "diag": diag}
+
+    def _run_exact(self, problem: SegmentationCsp, diag, span):
+        """One exact solve, booked into counters and diagnostics.
+
+        Returns ``None`` when the node budget ran out (recorded in
+        ``diag`` as ``exact: budget_exceeded``).
+        """
+        self.obs.counter("csp.exact.solves").inc()
+        try:
+            exact_result = ExactSolver(
+                problem.system, self.config.exact, clock=self.obs.clock
+            ).solve()
+        except SolverBudgetExceededError:
+            diag["exact"] = "budget_exceeded"
+            span.attributes["exact"] = "budget_exceeded"
+            self.obs.counter("csp.exact.budget_exceeded").inc()
+            return None
+        self.obs.counter("csp.exact.nodes").inc(exact_result.nodes)
+        self.obs.counter("csp.exact.backtracks").inc(exact_result.backtracks)
+        diag["exact"] = (
+            "satisfiable" if exact_result.satisfiable else "unsatisfiable"
+        )
+        diag["exact_nodes"] = exact_result.nodes
+        diag["exact_backtracks"] = exact_result.backtracks
+        span.attributes["exact"] = diag["exact"]
+        return exact_result

@@ -24,6 +24,20 @@ This implementation follows that recipe:
   assignment across tries.
 
 The solver is deterministic given its ``seed``.
+
+The inner loop is *delta-evaluating*: flipping a variable touches only
+the constraints containing it, so the solver compiles, per variable,
+the tuple of (constraint, coefficient, bound, relation, weight, ...)
+rows it participates in, and both the greedy move scoring and the flip
+application walk just those rows against the maintained ``lhs`` /
+``violation`` arrays — never the whole system.  The compiled form
+changes no decision: every score, tie-break and RNG draw is identical
+to the reference formulation, so a given (system, config) pair yields
+the same assignment it always did (``docs/performance.md`` explains
+why that property is load-bearing for cache/golden-parity).  The
+number of per-variable delta evaluations is reported as
+``WsatResult.delta_evals`` and surfaced by the segmenter as the
+``csp.wsat.delta_evals`` counter.
 """
 
 from __future__ import annotations
@@ -35,6 +49,13 @@ from repro.csp.constraints import ConstraintSystem, Relation
 from repro.obs.clock import Clock, SystemClock
 
 __all__ = ["WsatConfig", "WsatResult", "WsatSolver"]
+
+#: Int codes the compiled inner loop branches on instead of the enum.
+_REL_CODE = {Relation.LE: 0, Relation.GE: 1, Relation.EQ: 2}
+
+#: Weight multiplier making hard violations dominate soft ones in the
+#: flip score (lexicographic in spirit; see the module docstring).
+_HARD_FACTOR = 1000.0
 
 
 @dataclass(frozen=True)
@@ -75,6 +96,9 @@ class WsatResult:
             violates (0 when ``satisfied``) — the dirty-data signal
             the observability layer surfaces per relaxation rung.
         elapsed: clock seconds (wall time under the default clock).
+        delta_evals: per-variable score-delta evaluations performed by
+            greedy move selection (the hot-path effort measure behind
+            the ``csp.wsat.delta_evals`` counter).
     """
 
     assignment: list[int]
@@ -85,6 +109,7 @@ class WsatResult:
     restarts: int
     elapsed: float
     unsat_constraints: int = 0
+    delta_evals: int = 0
 
 
 class WsatSolver:
@@ -106,7 +131,8 @@ class WsatSolver:
         self.system = system
         self.config = config or WsatConfig()
         self.clock = clock or SystemClock()
-        # Compiled representation.
+        # Compiled representation.  Relations become int codes so the
+        # inner loop branches on ints instead of enum identity.
         self._terms: list[tuple[tuple[int, int], ...]] = [
             constraint.terms for constraint in system.constraints
         ]
@@ -114,14 +140,49 @@ class WsatSolver:
         self._relations = [
             constraint.relation for constraint in system.constraints
         ]
+        self._rel_codes = [
+            _REL_CODE[constraint.relation] for constraint in system.constraints
+        ]
         self._weights = [constraint.weight for constraint in system.constraints]
         self._hard = [constraint.hard for constraint in system.constraints]
+        # Hard constraints dominate soft ones in the flip score by a
+        # factor large enough that no realistic soft mass overturns a
+        # hard unit.
+        self._factors = [
+            _HARD_FACTOR if constraint.hard else 1.0
+            for constraint in system.constraints
+        ]
         self._var_constraints: list[list[tuple[int, int]]] = [
             [] for _ in range(system.num_vars)
         ]
         for constraint_id, terms in enumerate(self._terms):
             for coef, var in terms:
                 self._var_constraints[var].append((constraint_id, coef))
+        # Per-constraint variable tuples (move candidates), and per-var
+        # occurrence rows carrying every per-constraint constant the
+        # delta evaluation needs, so one tuple unpack replaces five
+        # list lookups in the hottest loop.  Row order matches
+        # ``_var_constraints`` (ascending constraint id), which fixes
+        # the floating-point accumulation order of score deltas.
+        self._cons_vars: list[tuple[int, ...]] = [
+            tuple(var for _, var in terms) for terms in self._terms
+        ]
+        self._var_rows: list[tuple[tuple[int, int, int, int, float, float, bool], ...]] = [
+            tuple(
+                (
+                    constraint_id,
+                    coef,
+                    self._bounds[constraint_id],
+                    self._rel_codes[constraint_id],
+                    self._weights[constraint_id],
+                    self._factors[constraint_id],
+                    self._hard[constraint_id],
+                )
+                for constraint_id, coef in pairs
+            )
+            for pairs in self._var_constraints
+        ]
+        self.delta_evals = 0
 
     # -- public API ------------------------------------------------------
 
@@ -134,6 +195,7 @@ class WsatSolver:
         """
         start_time = self.clock.now()
         rng = random.Random(self.config.seed)
+        self.delta_evals = 0
 
         best_assignment: list[int] = (
             list(initial) if initial else [0] * self.system.num_vars
@@ -165,6 +227,7 @@ class WsatSolver:
             restarts=restarts_done,
             elapsed=self.clock.now() - start_time,
             unsat_constraints=self._unsat_count(best_assignment),
+            delta_evals=self.delta_evals,
         )
 
     # -- internals -------------------------------------------------------
@@ -202,6 +265,13 @@ class WsatSolver:
 
         Returns ((best hard, best soft) violation reached, flips used).
         ``assignment`` holds the best state of this restart on return.
+
+        The body is one flat loop over compiled per-variable rows: the
+        greedy score delta and the flip application each delta-evaluate
+        only the constraints containing the touched variable, with
+        every per-constraint constant carried in the row tuple.  The
+        decision sequence (scores, tie-breaks, RNG draws) is exactly
+        the reference algorithm's.
         """
         num_constraints = len(self._terms)
         lhs = [0] * num_constraints
@@ -234,102 +304,98 @@ class WsatSolver:
         best_state = list(assignment)
         tenure = self.config.tabu_tenure
         noise = self.config.noise
-        # Hard constraints dominate soft ones in the flip score by a
-        # factor large enough that no realistic soft mass overturns a
-        # hard unit.
-        hard_factor = 1000.0
-
-        def flip_delta(var: int) -> float:
-            direction = 1 - 2 * assignment[var]
-            delta = 0.0
-            for constraint_id, coef in self._var_constraints[var]:
-                new_lhs = lhs[constraint_id] + coef * direction
-                change = self._weights[constraint_id] * (
-                    self._violation_of(constraint_id, new_lhs)
-                    - violations[constraint_id]
-                )
-                delta += change * (hard_factor if self._hard[constraint_id] else 1.0)
-            return delta
-
-        def apply_flip(var: int) -> None:
-            nonlocal hard_score, soft_score
-            direction = 1 - 2 * assignment[var]
-            assignment[var] ^= 1
-            for constraint_id, coef in self._var_constraints[var]:
-                new_lhs = lhs[constraint_id] + coef * direction
-                old_violation = violations[constraint_id]
-                new_violation = self._violation_of(constraint_id, new_lhs)
-                lhs[constraint_id] = new_lhs
-                if new_violation != old_violation:
-                    change = self._weights[constraint_id] * (
-                        new_violation - old_violation
-                    )
-                    if self._hard[constraint_id]:
-                        hard_score += change
-                    else:
-                        soft_score += change
-                    violations[constraint_id] = new_violation
-                    if old_violation == 0 and new_violation > 0:
-                        unsat_pos[constraint_id] = len(unsat_list)
-                        unsat_list.append(constraint_id)
-                    elif old_violation > 0 and new_violation == 0:
-                        index = unsat_pos.pop(constraint_id)
-                        mover = unsat_list[-1]
-                        unsat_list[index] = mover
-                        unsat_list.pop()
-                        if mover != constraint_id:
-                            unsat_pos[mover] = index
+        hard_factor = _HARD_FACTOR
+        cons_vars = self._cons_vars
+        var_rows = self._var_rows
+        randrange = rng.randrange
+        rng_random = rng.random
+        delta_evals = 0
+        infinity = float("inf")
 
         for flip in range(self.config.max_flips):
             if not unsat_list:
+                self.delta_evals += delta_evals
                 return (0.0, 0.0), flip
-            constraint_id = unsat_list[rng.randrange(len(unsat_list))]
-            variables = [var for _, var in self._terms[constraint_id]]
-            if rng.random() < noise:
-                chosen = variables[rng.randrange(len(variables))]
+            variables = cons_vars[unsat_list[randrange(len(unsat_list))]]
+            if rng_random() < noise:
+                chosen = variables[randrange(len(variables))]
             else:
                 current_weighted = hard_score * hard_factor + soft_score
                 best_global = min(best_key, global_best)
                 aspiration = best_global[0] * hard_factor + best_global[1]
-                chosen = self._greedy_pick(
-                    variables, flip, last_flip, tenure, flip_delta,
-                    current_weighted, aspiration, rng,
-                )
-            apply_flip(chosen)
+                best_vars: list[int] = []
+                best_delta = infinity
+                for var in variables:
+                    direction = 1 - 2 * assignment[var]
+                    delta = 0.0
+                    for c, coef, bound, rel, weight, factor, _ in var_rows[var]:
+                        new_lhs = lhs[c] + coef * direction
+                        if rel == 0:  # LE
+                            violation = new_lhs - bound if new_lhs > bound else 0
+                        elif rel == 1:  # GE
+                            violation = bound - new_lhs if new_lhs < bound else 0
+                        else:  # EQ
+                            violation = new_lhs - bound
+                            if violation < 0:
+                                violation = -violation
+                        delta += weight * (violation - violations[c]) * factor
+                    delta_evals += 1
+                    if (
+                        tenure > 0
+                        and flip - last_flip[var] <= tenure
+                        and current_weighted + delta >= aspiration
+                    ):
+                        continue
+                    if delta < best_delta:
+                        best_delta = delta
+                        best_vars = [var]
+                    elif delta == best_delta:
+                        best_vars.append(var)
+                if best_vars:
+                    chosen = best_vars[randrange(len(best_vars))]
+                else:
+                    # Everything tabu without aspiration: random move.
+                    chosen = variables[randrange(len(variables))]
+
+            direction = 1 - 2 * assignment[chosen]
+            assignment[chosen] ^= 1
+            for c, coef, bound, rel, weight, _, is_hard in var_rows[chosen]:
+                new_lhs = lhs[c] + coef * direction
+                if rel == 0:  # LE
+                    violation = new_lhs - bound if new_lhs > bound else 0
+                elif rel == 1:  # GE
+                    violation = bound - new_lhs if new_lhs < bound else 0
+                else:  # EQ
+                    violation = new_lhs - bound
+                    if violation < 0:
+                        violation = -violation
+                lhs[c] = new_lhs
+                old_violation = violations[c]
+                if violation != old_violation:
+                    change = weight * (violation - old_violation)
+                    if is_hard:
+                        hard_score += change
+                    else:
+                        soft_score += change
+                    violations[c] = violation
+                    if old_violation == 0:
+                        unsat_pos[c] = len(unsat_list)
+                        unsat_list.append(c)
+                    elif violation == 0:
+                        index = unsat_pos.pop(c)
+                        mover = unsat_list[-1]
+                        unsat_list[index] = mover
+                        unsat_list.pop()
+                        if mover != c:
+                            unsat_pos[mover] = index
+
             last_flip[chosen] = flip
-            key = (hard_score, soft_score)
-            if key < best_key:
-                best_key = key
+            if hard_score < best_key[0] or (
+                hard_score == best_key[0] and soft_score < best_key[1]
+            ):
+                best_key = (hard_score, soft_score)
                 best_state = list(assignment)
 
         assignment[:] = best_state
+        self.delta_evals += delta_evals
         return best_key, self.config.max_flips
-
-    @staticmethod
-    def _greedy_pick(
-        variables: list[int],
-        flip: int,
-        last_flip: list[int],
-        tenure: int,
-        flip_delta,
-        score: float,
-        aspiration_target: float,
-        rng: random.Random,
-    ) -> int:
-        """Best-delta variable of a violated constraint, with tabu."""
-        best_vars: list[int] = []
-        best_delta = float("inf")
-        for var in variables:
-            delta = flip_delta(var)
-            tabu = tenure > 0 and flip - last_flip[var] <= tenure
-            if tabu and score + delta >= aspiration_target:
-                continue
-            if delta < best_delta:
-                best_delta = delta
-                best_vars = [var]
-            elif delta == best_delta:
-                best_vars.append(var)
-        if not best_vars:
-            # Everything tabu without aspiration: fall back to random.
-            return variables[rng.randrange(len(variables))]
-        return best_vars[rng.randrange(len(best_vars))]

@@ -14,14 +14,24 @@ by default — the paper reports that a case mismatch between list and
 detail values on the Minnesota Corrections site broke the match, which
 only happens under case-sensitive comparison.  A ``casefold`` option is
 provided for ablation.
+
+Mechanically, matching runs over *interned token ids*, not strings: a
+site-scoped :class:`~repro.webdoc.interning.TokenTable` maps each
+normalized token text to a dense int, the page's reduced stream becomes
+an id list, and an occurrence check is a hash-index probe on the first
+id followed by one C-level slice comparison of int lists.  Because
+``intern(a) == intern(b)`` exactly when the normalized texts are equal,
+the id matcher accepts precisely the occurrences the string matcher
+accepted — same positions, same order (see ``docs/paper_mapping.md``).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.tokens.tokenizer import DEFAULT_ALLOWED_PUNCT, Token, is_separator
+from repro.obs import current as current_obs
+from repro.tokens.tokenizer import DEFAULT_ALLOWED_PUNCT, Token
+from repro.webdoc.interning import TokenTable
 from repro.webdoc.page import Page
 
 __all__ = ["MatchOptions", "PageIndex", "find_occurrences"]
@@ -45,30 +55,55 @@ class MatchOptions:
         """Normalize one token text for comparison."""
         return text.casefold() if self.casefold else text
 
+    def make_table(self) -> TokenTable:
+        """A fresh site-scoped intern table for these options."""
+        normalize = str.casefold if self.casefold else None
+        return TokenTable(
+            normalize=normalize, allowed_punct=self.allowed_punct
+        )
+
 
 class PageIndex:
     """A detail page pre-processed for fast repeated matching.
 
-    Builds the reduced (separator-free) token sequence once, plus an
-    inverted index from first-token text to candidate start offsets, so
+    Builds the reduced (separator-free) id sequence once, plus an
+    inverted index from first-token id to candidate start offsets, so
     that matching N extracts against K pages is close to linear in the
     number of true occurrences.
+
+    Args:
+        page: the detail (or list) page to index.
+        options: matching options; must agree with ``table``'s when a
+            shared table is passed.
+        table: the site-scoped intern table to share with sibling
+            indexes and queries; a private one is created when absent.
+        obs: observability bundle for the ``extraction.index.*``
+            counters; defaults to the installed bundle.
     """
 
-    def __init__(self, page: Page, options: MatchOptions | None = None) -> None:
+    def __init__(
+        self,
+        page: Page,
+        options: MatchOptions | None = None,
+        table: TokenTable | None = None,
+        obs=None,
+    ) -> None:
         self.page = page
         self.options = options or MatchOptions()
-        self._reduced: list[Token] = [
-            token
-            for token in page.tokens()
-            if not is_separator(token, self.options.allowed_punct)
-        ]
-        self._keys: list[str] = [
-            self.options.key(token.text) for token in self._reduced
-        ]
-        self._starts: dict[str, list[int]] = defaultdict(list)
-        for offset, key in enumerate(self._keys):
-            self._starts[key].append(offset)
+        self.table = table if table is not None else self.options.make_table()
+        self.obs = obs if obs is not None else current_obs()
+        self._reduced, self._ids = self.table.reduced(page)
+        starts: dict[int, list[int]] = {}
+        for offset, token_id in enumerate(self._ids):
+            bucket = starts.get(token_id)
+            if bucket is None:
+                starts[token_id] = [offset]
+            else:
+                bucket.append(offset)
+        self._starts = starts
+        self._probes = self.obs.counter("extraction.index.probes")
+        self.obs.counter("extraction.index.pages").inc()
+        self.obs.counter("extraction.index.tokens").inc(len(self._ids))
 
     @property
     def reduced_tokens(self) -> list[Token]:
@@ -84,19 +119,38 @@ class PageIndex:
         """
         if not texts:
             return []
-        keys = [self.options.key(text) for text in texts]
-        length = len(keys)
-        positions: list[int] = []
-        for start in self._starts.get(keys[0], ()):
-            if start + length > len(self._keys):
-                continue
-            if self._keys[start : start + length] == keys:
-                positions.append(self._reduced[start].index)
+        return self.occurrences_ids(self.table.intern_texts(texts))
+
+    def occurrences_ids(self, ids: list[int]) -> list[int]:
+        """Start positions of an already-interned id sequence.
+
+        Bulk callers (the observation builder) intern each extract once
+        and probe every page with the same id list.
+        """
+        if not ids:
+            return []
+        candidates = self._starts.get(ids[0])
+        if candidates is None:
+            return []
+        page_ids = self._ids
+        length = len(ids)
+        limit = len(page_ids) - length
+        reduced = self._reduced
+        positions = [
+            reduced[start].index
+            for start in candidates
+            if start <= limit and page_ids[start : start + length] == ids
+        ]
+        self._probes.inc(len(candidates))
         return positions
 
     def contains(self, texts: tuple[str, ...]) -> bool:
         """Does the page contain ``texts`` at least once?"""
         return bool(self.occurrences(texts))
+
+    def contains_ids(self, ids: list[int]) -> bool:
+        """Does the page contain the interned sequence at least once?"""
+        return bool(self.occurrences_ids(ids))
 
 
 def find_occurrences(
@@ -107,15 +161,16 @@ def find_occurrences(
     """Occurrences of a token-text sequence on each of ``pages``.
 
     Convenience wrapper for one-off queries; bulk matching should build
-    :class:`PageIndex` objects once and reuse them.
+    :class:`PageIndex` objects once over a shared table and reuse them.
 
     Returns a mapping from page index to start positions (empty pages
     are omitted).
     """
     options = options or MatchOptions()
+    table = options.make_table()
     result: dict[int, list[int]] = {}
     for page_number, page in enumerate(pages):
-        positions = PageIndex(page, options).occurrences(texts)
+        positions = PageIndex(page, options, table=table).occurrences(texts)
         if positions:
             result[page_number] = positions
     return result

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 from repro.extraction.extracts import Extract
 from repro.extraction.matching import MatchOptions, PageIndex
+from repro.obs import current as current_obs
+from repro.webdoc.interning import TokenTable
 from repro.webdoc.page import Page
 
 __all__ = ["Observation", "ObservationTable", "PositionGroup"]
@@ -90,6 +92,8 @@ class ObservationTable:
         detail_pages: list[Page],
         other_list_pages: list[Page] | None = None,
         options: MatchOptions | None = None,
+        token_table: TokenTable | None = None,
+        obs=None,
     ) -> "ObservationTable":
         """Match ``extracts`` against ``detail_pages`` and filter.
 
@@ -100,11 +104,24 @@ class ObservationTable:
             other_list_pages: the *other* sample list pages, used for
                 the appears-on-all-list-pages filter.
             options: matching options (case sensitivity etc.).
+            token_table: the site-scoped intern table; pass one to
+                share page reductions across the site's list pages
+                (the pipeline does), else a build-local table is used.
+            obs: observability bundle for the ``extraction.index.*``
+                counters; defaults to the installed bundle.
         """
         options = options or MatchOptions()
-        detail_indexes = [PageIndex(page, options) for page in detail_pages]
+        obs = obs if obs is not None else current_obs()
+        table_of_ids = (
+            token_table if token_table is not None else options.make_table()
+        )
+        detail_indexes = [
+            PageIndex(page, options, table=table_of_ids, obs=obs)
+            for page in detail_pages
+        ]
         other_indexes = [
-            PageIndex(page, options) for page in (other_list_pages or [])
+            PageIndex(page, options, table=table_of_ids, obs=obs)
+            for page in (other_list_pages or [])
         ]
 
         table = cls(
@@ -113,11 +130,15 @@ class ObservationTable:
             detail_count=len(detail_pages),
         )
 
+        queries = obs.counter("extraction.index.queries")
         for extract in extracts:
-            texts = extract.texts
+            # Intern once per extract; every page probe below is then
+            # a hash lookup plus one int-list slice compare.
+            ids = table_of_ids.intern_texts(extract.texts)
+            queries.inc(len(detail_indexes))
             positions: dict[int, tuple[int, ...]] = {}
             for page_number, page_index in enumerate(detail_indexes):
-                found = page_index.occurrences(texts)
+                found = page_index.occurrences_ids(ids)
                 if found:
                     positions[page_number] = tuple(found)
 
@@ -128,7 +149,7 @@ class ObservationTable:
                 table.ignored_all_details.append(extract)
                 continue
             if other_indexes and all(
-                index.contains(texts) for index in other_indexes
+                index.contains_ids(ids) for index in other_indexes
             ):
                 table.ignored_all_lists.append(extract)
                 continue

@@ -1,7 +1,8 @@
-"""HTML substrate: entity decoding, lexing and the Page abstraction."""
+"""HTML substrate: entity decoding, lexing, interning and the Page abstraction."""
 
 from repro.webdoc.entities import decode_entities, encode_entities
 from repro.webdoc.html import EventKind, HtmlEvent, lex_html, strip_tags
+from repro.webdoc.interning import TokenTable
 from repro.webdoc.page import Page
 from repro.webdoc.store import PageSample, load_sample, save_sample
 
@@ -10,6 +11,7 @@ __all__ = [
     "HtmlEvent",
     "Page",
     "PageSample",
+    "TokenTable",
     "decode_entities",
     "encode_entities",
     "lex_html",

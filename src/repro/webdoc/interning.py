@@ -1,0 +1,122 @@
+"""Site-scoped token interning: token texts become small int ids.
+
+The extract-vs-detail-page matcher compares token *texts* millions of
+times per site (every extract against every detail page).  String
+comparison pays for length; comparing interned ids pays one pointer
+check.  A :class:`TokenTable` maps each distinct normalized token text
+to a dense int id, so every downstream comparison — candidate lookup,
+occurrence verification — is int equality over id lists, and a whole
+candidate window can be checked with one C-level list-slice compare.
+
+Scope and identity rules:
+
+* A table is **site-scoped**: one table per pipeline run (or per
+  observation build) so ids are consistent across that site's list
+  pages, detail pages and extracts.  Ids from different tables are
+  meaningless to compare.
+* Ids are assigned in first-seen order; the mapping is append-only.
+  Interning the same normalized text twice returns the same id, so
+  ``intern(a) == intern(b)  iff  normalize(a) == normalize(b)`` — the
+  exact equality the string matcher used, which is what keeps the
+  optimized matcher byte-identical to the string implementation.
+* Normalization is the matcher's (:class:`~repro.extraction.matching.
+  MatchOptions.key`): identity by default, ``casefold`` under the
+  ablation option.  The normalizer is fixed at construction; a table
+  must not be shared between differently-configured matchers.
+
+The table also caches each page's *reduced view* (its non-separator
+tokens, as parallel token/id lists) keyed by the page object, because
+every matcher over a site reads the same reduction of the same detail
+pages.  The cache holds strong references and lives exactly as long as
+the table — site-scoped, per the rules above.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.tokens.tokenizer import Token
+    from repro.webdoc.page import Page
+
+__all__ = ["TokenTable"]
+
+
+class TokenTable:
+    """Dense int ids for normalized token texts, plus page reductions.
+
+    Args:
+        normalize: text normalizer applied before interning (the
+            matcher's ``MatchOptions.key``); ``None`` means identity.
+        allowed_punct: the punctuation set defining separators for the
+            cached page reductions; must agree with the tokenizer's
+            (defaults to the tokenizer's
+            :data:`~repro.tokens.tokenizer.DEFAULT_ALLOWED_PUNCT`).
+    """
+
+    __slots__ = ("_ids", "_normalize", "_allowed_punct", "_reduced_cache")
+
+    def __init__(
+        self,
+        normalize: Callable[[str], str] | None = None,
+        allowed_punct: frozenset[str] | None = None,
+    ) -> None:
+        if allowed_punct is None:
+            # Deferred: webdoc sits below repro.tokens in the import
+            # graph, so the tokenizer cannot be imported at module load.
+            from repro.tokens.tokenizer import DEFAULT_ALLOWED_PUNCT
+
+            allowed_punct = DEFAULT_ALLOWED_PUNCT
+        self._ids: dict[str, int] = {}
+        self._normalize = normalize
+        self._allowed_punct = allowed_punct
+        # id(page) -> (reduced tokens, their ids); see class docstring
+        # for the lifetime contract.  The page object itself is kept in
+        # the value so the id() key cannot be recycled underneath us.
+        self._reduced_cache: dict[int, tuple["Page", list[Token], list[int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def allowed_punct(self) -> frozenset[str]:
+        """The separator-defining punctuation set of cached reductions."""
+        return self._allowed_punct
+
+    def intern(self, text: str) -> int:
+        """The id of ``text`` (normalized), assigning one if new."""
+        if self._normalize is not None:
+            text = self._normalize(text)
+        table = self._ids
+        found = table.get(text)
+        if found is None:
+            found = len(table)
+            table[text] = found
+        return found
+
+    def intern_texts(self, texts: tuple[str, ...]) -> list[int]:
+        """Ids for a token-text sequence (an extract's texts)."""
+        return [self.intern(text) for text in texts]
+
+    def reduced(self, page: "Page") -> tuple[list[Token], list[int]]:
+        """The page's non-separator tokens and their ids (cached).
+
+        Returns parallel lists: ``tokens[k]`` is the page's k-th
+        non-separator token and ``ids[k]`` its interned id.
+        """
+        key = id(page)
+        hit = self._reduced_cache.get(key)
+        if hit is not None and hit[0] is page:
+            return hit[1], hit[2]
+        from repro.tokens.tokenizer import is_separator
+
+        allowed = self._allowed_punct
+        tokens = [
+            token
+            for token in page.tokens()
+            if not is_separator(token, allowed)
+        ]
+        intern = self.intern
+        ids = [intern(token.text) for token in tokens]
+        self._reduced_cache[key] = (page, tokens, ids)
+        return tokens, ids
