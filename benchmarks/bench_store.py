@@ -1,0 +1,185 @@
+"""Relational-store benchmark: ingest throughput and query latency.
+
+Builds a 120-site corpus from the :func:`~repro.sitegen.sweeps.
+catalog_site` family (domains alternating, detail-label vocabularies
+rotating, so the attribute catalog's exact / word-overlap / no-match
+paths all fire), ingests every site's wire pages into one sqlite
+store, and answers a canned set of column-keyword queries against the
+result.
+
+Asserted invariants: every site inserts, a second full ingest pass is
+100% ``unchanged`` (the fingerprint no-op path), every canned query
+returns a non-empty ranked answer with provenance-tagged rows, and
+the cross-site catalog actually unified attributes (fewer canonical
+attributes than site columns).
+
+Headlines land in ``BENCH_store.json`` (override the directory with
+``BENCH_OUT_DIR``): ``ingest_rows_per_s``, ``reingest_sites_per_s``
+(the no-op path), and per-pass ``query_p50_ms`` / ``query_p95_ms`` —
+see ``docs/store.md`` for how to read them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from repro.obs import Observability
+from repro.sitegen.sweeps import catalog_site
+from repro.store import RelationalStore, ingest_pages, query_store
+
+N_SITES = 120
+
+#: Canned column-keyword queries: exact labels, word-overlap partials,
+#: and a cross-domain mix.  Every one must return ranked tables.
+QUERIES = (
+    "owner, value",
+    "parcel number",
+    "name, status",
+    "inmate number",
+    "owner name, market value",
+)
+
+#: Query repetitions per canned query (p50/p95 need a population).
+QUERY_ROUNDS = 40
+
+
+def truth_entries(site):
+    """A site's wire page entries, derived from its ground truth.
+
+    The store layer is what is being measured, so rows come straight
+    from :class:`~repro.sitegen.site.TrueRow` values (column = field
+    position in the schema, absent fields skipped — exactly the shape
+    the segmenter's wire records take on these clean grids) and names
+    from the spec's detail labels.
+    """
+    fields = [field.name for field in site.spec.schema.fields]
+    names = {
+        f"L{position}": site.spec.label_for(name)
+        for position, name in enumerate(fields)
+    }
+    entries = []
+    for page in site.truth:
+        records = [
+            {
+                "texts": [row.values[f] for f in fields if f in row.values],
+                "columns": [
+                    position
+                    for position, f in enumerate(fields)
+                    if f in row.values
+                ],
+            }
+            for row in page.rows
+        ]
+        entries.append(
+            {
+                "url": f"{site.spec.name}-list{page.page_index}.html",
+                "records": records,
+                "record_count": len(records),
+                "names": names,
+            }
+        )
+    return entries
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_store_ingest_and_query(benchmark, tmp_path, capsys):
+    corpus = [
+        (site.spec.name, truth_entries(site))
+        for site in (catalog_site(index) for index in range(N_SITES))
+    ]
+    total_rows = sum(
+        entry["record_count"] for _, entries in corpus for entry in entries
+    )
+    store = RelationalStore(tmp_path / "bench.db", obs=Observability())
+
+    def run_all():
+        # Cold ingest: every site inserts.
+        started = perf_counter()
+        outcomes = [
+            ingest_pages(store, site_id, "prob", entries)
+            for site_id, entries in corpus
+        ]
+        ingest_s = perf_counter() - started
+        assert outcomes == ["inserted"] * N_SITES
+
+        # Idempotence at scale: a full second pass changes nothing.
+        before = store.counts()
+        started = perf_counter()
+        again = [
+            ingest_pages(store, site_id, "prob", entries)
+            for site_id, entries in corpus
+        ]
+        reingest_s = perf_counter() - started
+        assert again == ["unchanged"] * N_SITES
+        assert store.counts() == before
+
+        # Canned queries: non-empty ranked answers, latency population.
+        latencies = []
+        answers = {}
+        for keywords in QUERIES:
+            for _ in range(QUERY_ROUNDS):
+                started = perf_counter()
+                result = query_store(store, keywords, limit=20)
+                latencies.append(perf_counter() - started)
+            assert result.tables, f"no tables matched {keywords!r}"
+            assert result.rows and result.rows[0]["site"]
+            answers[keywords] = result
+        return ingest_s, reingest_s, latencies, answers, before
+
+    ingest_s, reingest_s, latencies, answers, counts = benchmark.pedantic(
+        run_all, iterations=1, rounds=1
+    )
+
+    # The catalog really unified columns across sites: 120 sites with
+    # 5 columns each collapse onto a few dozen shared attributes.
+    assert counts["attributes"] < counts["site_columns"] / 3
+
+    summary = {
+        "sites": N_SITES,
+        "rows": total_rows,
+        "ingest_s": round(ingest_s, 3),
+        "ingest_rows_per_s": round(total_rows / ingest_s, 1),
+        "ingest_sites_per_s": round(N_SITES / ingest_s, 1),
+        "reingest_s": round(reingest_s, 3),
+        "reingest_sites_per_s": round(N_SITES / reingest_s, 1),
+        "queries": len(QUERIES) * QUERY_ROUNDS,
+        "query_p50_ms": round(_percentile(latencies, 0.50) * 1000.0, 3),
+        "query_p95_ms": round(_percentile(latencies, 0.95) * 1000.0, 3),
+        "attributes": counts["attributes"],
+        "site_columns": counts["site_columns"],
+        "cells": counts["cells"],
+    }
+    out_dir = Path(os.environ.get("BENCH_OUT_DIR", "."))
+    out_path = out_dir / "BENCH_store.json"
+    out_path.write_text(json.dumps(summary, indent=2) + "\n")
+    benchmark.extra_info.update(summary)
+    store.close()
+
+    with capsys.disabled():
+        print(f"\nrelational store, {N_SITES}-site corpus:")
+        print(
+            f"  ingest {summary['ingest_rows_per_s']:,.0f} rows/s "
+            f"({summary['ingest_s']:.2f}s total)   "
+            f"re-ingest no-op {summary['reingest_sites_per_s']:,.0f} sites/s"
+        )
+        print(
+            f"  query p50 {summary['query_p50_ms']:.2f}ms   "
+            f"p95 {summary['query_p95_ms']:.2f}ms   "
+            f"({summary['attributes']} attributes over "
+            f"{summary['site_columns']} site columns)"
+        )
+        for keywords, result in answers.items():
+            top = result.tables[0]
+            print(
+                f"    {keywords!r}: {len(result.tables)} tables, "
+                f"top {top.site_id} score {top.score:.2f}"
+            )
+        print(f"  wrote {out_path}")

@@ -1,8 +1,18 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream reader (e.g. ``| head``) closed the pipe early.
+        # Point stdout at devnull so the interpreter's exit flush
+        # cannot raise again, and exit like a well-behaved filter.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -41,6 +41,15 @@ in front of N crash-isolated worker processes sharing the port via
 for the machine-readable summary the service shares
 (:mod:`repro.serve.schema`), so shell pipelines and the HTTP path
 speak one format.
+
+``--store DB`` on ``segment-dir`` ingests every cleanly segmented
+site into a sqlite relational store (:mod:`repro.store`) after the
+batch; the same flag on ``serve`` ingests online after each response.
+``query`` then answers column-keyword queries over either store::
+
+    python -m repro segment-dir ./corpus --store tables.db
+    python -m repro query tables.db name charge bail
+    python -m repro serve --store tables.db   # /query over HTTP too
 """
 
 from __future__ import annotations
@@ -263,6 +272,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a machine-readable summary instead of the record dump",
     )
+    segment_dir.add_argument(
+        "--store",
+        metavar="DB",
+        default=None,
+        help=(
+            "ingest cleanly segmented sites into this sqlite relational "
+            "store after the batch (idempotent; see `repro query`)"
+        ),
+    )
     _add_obs_flags(segment_dir)
 
     serve = commands.add_parser(
@@ -371,6 +389,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON ChaosPlan: inject worker kills / hangs / cache faults",
     )
+    serve.add_argument(
+        "--store",
+        metavar="DB",
+        default=None,
+        help=(
+            "sqlite relational store: ingest each response's records "
+            "online and answer GET /query from it"
+        ),
+    )
     # Hidden plumbing: how a supervisor tells the worker process who
     # it is.  Never set by hand.
     serve.add_argument(
@@ -388,6 +415,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--_heartbeat-interval", dest="_heartbeat_interval", type=float,
         default=0.25, help=argparse.SUPPRESS,
+    )
+
+    query = commands.add_parser(
+        "query",
+        help="column-keyword query over a relational store",
+    )
+    query.add_argument("store", help="sqlite store written by --store")
+    query.add_argument(
+        "keywords",
+        nargs="+",
+        help='column keywords, e.g. "name" "charge" "bail"',
+    )
+    query.add_argument(
+        "--method",
+        choices=METHODS,
+        default=None,
+        help="only tables ingested under this segmenter",
+    )
+    query.add_argument(
+        "--limit",
+        type=_request_budget,
+        default=20,
+        metavar="N",
+        help="maximum unioned rows returned",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="print the wire-shape result the /query endpoint returns",
     )
 
     show = commands.add_parser("show", help="print a generated page's HTML")
@@ -525,10 +581,15 @@ def _cmd_segment_dir(args, out) -> int:
             resume=args.resume,
             stall_timeout=args.timeout,
             collect_trace=bool(args.trace),
+            collect_wire=bool(args.store),
         ),
         obs=obs,
     )
     batch = runner.run(tasks)
+
+    store_summary = None
+    if args.store:
+        store_summary = _ingest_batch_into_store(args, batch, obs, out)
 
     bad = sum(
         1
@@ -541,6 +602,8 @@ def _cmd_segment_dir(args, out) -> int:
         from repro.serve.schema import batch_summary
 
         summary = batch_summary(batch, method=args.method)
+        if store_summary is not None:
+            summary["store"] = store_summary
         summary["exit_code"] = 1 if (bad or batch.interrupted) else 0
         print(json_module.dumps(summary, indent=2), file=out)
         _emit_obs(args, obs, out)
@@ -585,8 +648,30 @@ def _cmd_segment_dir(args, out) -> int:
     if batch.interrupted:
         summary += " [interrupted]"
     print(summary, file=out)
+    if store_summary is not None and "error" not in store_summary:
+        print(
+            f"store {args.store}: {store_summary['sites']} sites, "
+            f"{store_summary['rows']} rows "
+            f"({store_summary['unchanged']} unchanged, "
+            f"{store_summary['replaced']} replaced, "
+            f"{store_summary['skipped']} skipped)",
+            file=out,
+        )
     _emit_obs(args, obs, out)
     return 1 if (bad or batch.interrupted) else 0
+
+
+def _ingest_batch_into_store(args, batch, obs, out):
+    """Ingest a segment-dir batch into ``args.store``; never raises."""
+    from repro.store import RelationalStore, StoreError, ingest_batch
+
+    try:
+        with RelationalStore(args.store, obs=obs) as store:
+            report = ingest_batch(store, batch, method=args.method, obs=obs)
+    except StoreError as error:
+        print(f"store error: {error}", file=out)
+        return {"error": str(error)}
+    return report.as_dict()
 
 
 def _cmd_export_corpus(args, out) -> int:
@@ -621,6 +706,7 @@ def _service_config(args, wrapper_cache_dir=None):
         workers=args.workers,
         max_queue=args.max_queue,
         hung_grace_s=args.hung_grace,
+        store_path=args.store,
     )
 
 
@@ -665,6 +751,8 @@ def _run_supervised(args, out) -> int:
             argv += ["--mem-limit-mb", str(args.mem_limit_mb)]
         if args.chaos_plan is not None:
             argv += ["--chaos-plan", args.chaos_plan]
+        if args.store is not None:
+            argv += ["--store", args.store]
         return argv
 
     supervisor = Supervisor(
@@ -727,6 +815,57 @@ def _cmd_serve(args, out) -> int:
     return server.run(out=out)
 
 
+def _cmd_query(args, out) -> int:
+    from pathlib import Path
+
+    from repro.store import RelationalStore, StoreError, query_store
+
+    if not Path(args.store).is_file():
+        print(f"error: no store database at {args.store}", file=out)
+        return 2
+    try:
+        with RelationalStore(args.store) as store:
+            result = query_store(
+                store,
+                args.keywords,
+                limit=args.limit,
+                method=args.method,
+            )
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    except StoreError as error:
+        print(f"store error: {error}", file=out)
+        return 2
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(result.as_dict(), indent=2), file=out)
+        return 0 if result.tables else 1
+    if not result.tables:
+        print(f"no tables match: {', '.join(result.keywords)}", file=out)
+        return 1
+    for hit in result.tables:
+        bindings = ", ".join(
+            f"{keyword}→{binding['column']}"
+            f" ({binding['attribute']}, {binding['strength']:.1f})"
+            for keyword, binding in hit.columns.items()
+        )
+        print(
+            f"== {hit.site_id} [{hit.method}] score={hit.score:.2f} "
+            f"{hit.record_count} records — {bindings}",
+            file=out,
+        )
+    header = " | ".join(result.keywords)
+    print(f"-- rows ({len(result.rows)}) — {header}", file=out)
+    for row in result.rows:
+        values = " | ".join(
+            row["values"].get(keyword, "") for keyword in result.keywords
+        )
+        print(f"  [{row['site']} {row['page']}#{row['record']}] {values}", file=out)
+    return 0
+
+
 def _cmd_show(args, out) -> int:
     site = build_site(args.site)
     if args.detail is not None:
@@ -755,6 +894,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_segment_dir(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
+    if args.command == "query":
+        return _cmd_query(args, out)
     if args.command == "show":
         return _cmd_show(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -52,8 +52,10 @@ def name_columns(
 
     Returns:
         ``{anonymous name: semantic label}`` for the columns that
-        earned a name.  Labels are never assigned twice; ties go to
-        the column with more support.
+        earned a name.  Labels are never assigned twice; the column
+        with more support wins a contested label, and every tie breaks
+        deterministically (earlier column, then smaller label text) so
+        the result is independent of vote or ingest order.
     """
     candidates: list[tuple[float, str, str]] = []
     for column in table.columns:
@@ -71,14 +73,21 @@ def name_columns(
                 votes[label] += _agreement(cell, value)
         if not filled or not votes:
             continue
-        label, count = votes.most_common(1)[0]
+        # Deterministic majority: on a vote tie, the lexicographically
+        # smallest label wins — never Counter insertion order, which
+        # follows detail-page extract order and therefore ingest order.
+        label, count = min(votes.items(), key=lambda vote: (-vote[1], vote[0]))
         support = count / filled
         if support >= min_support:
             candidates.append((support, column, label))
 
     names: dict[str, str] = {}
     used: set[str] = set()
-    for support, column, label in sorted(candidates, reverse=True):
+    # Strongest support first; ties resolve by column then label text,
+    # so the assignment is a pure function of the table contents.
+    for support, column, label in sorted(
+        candidates, key=lambda entry: (-entry[0], entry[1], entry[2])
+    ):
         if column in names or label in used:
             continue
         names[column] = label

@@ -74,6 +74,9 @@ class RunnerConfig:
             ``None`` waits forever.
         collect_trace: ship per-task span trees home and merge them
             into the parent tracer (costs memory; off by default).
+        collect_wire: attach store-ready wire entries to every page
+            outcome (``segment-dir --store``); off by default because
+            the extra payload crosses the pickle boundary.
         pipeline: pipeline configuration handed to every worker.
     """
 
@@ -83,6 +86,7 @@ class RunnerConfig:
     resume: bool = False
     stall_timeout: float | None = None
     collect_trace: bool = False
+    collect_wire: bool = False
     pipeline: PipelineConfig | None = None
 
     def summary(self) -> dict[str, Any]:
@@ -242,6 +246,7 @@ class BatchRunner:
                 cache_dir=self.config.cache_dir,
                 collect_trace=self.config.collect_trace,
                 config=self.config.pipeline,
+                collect_wire=self.config.collect_wire,
             )
             batch.results.append(result)
             self._record(manifest, task, result)
@@ -278,6 +283,7 @@ class BatchRunner:
                         cache_dir=config.cache_dir,
                         collect_trace=config.collect_trace,
                         config=config.pipeline,
+                        collect_wire=config.collect_wire,
                     )
                 ] = task
 

@@ -70,13 +70,23 @@ class SiteTask:
 
 @dataclass
 class PageOutcome:
-    """One list page's result, reduced to plain comparable data."""
+    """One list page's result, reduced to plain comparable data.
+
+    ``records`` holds display strings (what the digest and the text
+    CLI show); ``wire`` — attached only under the runner's
+    ``collect_wire`` flag (``segment-dir --store``) — holds the page's
+    full wire entry (:func:`repro.store.ingest.page_entry`: structured
+    records plus semantic column names) for store ingestion.  The
+    digest never covers ``wire``, so collecting it cannot perturb the
+    serial/parallel identity checks.
+    """
 
     url: str
     records: list[str] = field(default_factory=list)
     unassigned: list[str] = field(default_factory=list)
     elapsed: float = 0.0
     notes: dict[str, Any] = field(default_factory=dict)
+    wire: dict[str, Any] | None = None
 
     @property
     def record_count(self) -> int:

@@ -79,10 +79,34 @@ def _outcomes(run: SiteRun) -> tuple[list[PageOutcome], str]:
     return pages, ("quarantined" if quarantined else "ok")
 
 
+def _attach_wire(
+    pages: list[PageOutcome],
+    run: SiteRun,
+    details_by_url: dict[str, list[Any]],
+) -> None:
+    """Attach store-ready wire entries to the page outcomes.
+
+    One serialization (``repro.serve.schema.segmentation_records``)
+    and one naming pass (``repro.store.ingest.page_entry``) shared
+    with the serve path, so batch ingest and online ingest write
+    byte-identical store content for the same pages.
+    """
+    from repro.serve.schema import segmentation_records
+    from repro.store.ingest import page_entry
+
+    for outcome, page_run in zip(pages, run.pages):
+        outcome.wire = page_entry(
+            outcome.url,
+            segmentation_records(page_run.segmentation),
+            details_by_url.get(outcome.url),
+        )
+
+
 def _run_sample_dir(
     task: SiteTask,
     pipeline: SegmentationPipeline,
     cache: StageCache | None,
+    collect_wire: bool = False,
 ) -> tuple[list[PageOutcome], str, Any]:
     from repro.webdoc.store import load_sample
 
@@ -94,6 +118,17 @@ def _run_sample_dir(
         sample.list_pages, sample.detail_pages_per_list
     )
     pages, status = _outcomes(run)
+    if collect_wire:
+        _attach_wire(
+            pages,
+            run,
+            {
+                list_page.url: details
+                for list_page, details in zip(
+                    sample.list_pages, sample.detail_pages_per_list
+                )
+            },
+        )
     return pages, status, None
 
 
@@ -101,6 +136,7 @@ def _run_generated(
     task: SiteTask,
     pipeline: SegmentationPipeline,
     cache: StageCache | None,
+    collect_wire: bool = False,
 ) -> tuple[list[PageOutcome], str, Any]:
     from repro.sitegen.corpus import build_site
 
@@ -111,6 +147,15 @@ def _run_generated(
         warm_tokens(page_set, cache)
     run = pipeline.segment_site(site.list_pages, details)
     pages, status = _outcomes(run)
+    if collect_wire:
+        _attach_wire(
+            pages,
+            run,
+            {
+                list_page.url: page_set
+                for list_page, page_set in zip(site.list_pages, details)
+            },
+        )
     return pages, status, None
 
 
@@ -118,6 +163,7 @@ def _run_eval_generated(
     task: SiteTask,
     pipeline: SegmentationPipeline,
     cache: StageCache | None,
+    collect_wire: bool = False,
 ) -> tuple[list[PageOutcome], str, Any]:
     from repro.core.evaluation import score_page
     from repro.reporting.aggregate import PageResult, notes_from_meta
@@ -142,6 +188,15 @@ def _run_eval_generated(
         for page_run, truth in zip(run.pages, site.truth)
     ]
     pages, status = _outcomes(run)
+    if collect_wire:
+        _attach_wire(
+            pages,
+            run,
+            {
+                list_page.url: page_set
+                for list_page, page_set in zip(site.list_pages, details)
+            },
+        )
     return pages, status, rows
 
 
@@ -150,6 +205,7 @@ def execute_task(
     cache_dir: str | None = None,
     collect_trace: bool = False,
     config: PipelineConfig | None = None,
+    collect_wire: bool = False,
 ) -> TaskResult:
     """Run one task to a :class:`TaskResult`; never raises."""
     obs = Observability(keep_spans=collect_trace)
@@ -179,7 +235,9 @@ def execute_task(
                 pipeline = SegmentationPipeline(
                     task.method, config, obs=obs, cache=cache
                 )
-                pages, status, payload = handler(task, pipeline, cache)
+                pages, status, payload = handler(
+                    task, pipeline, cache, collect_wire
+                )
             span.attributes["status"] = status
             span.attributes["pages"] = len(pages)
         return TaskResult(

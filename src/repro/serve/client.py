@@ -225,6 +225,19 @@ class ServeClient:
         """Submit the worker-holding test hook (queue saturation)."""
         return self._request("/v1/segment", body={"_sleep": seconds})
 
+    def query(
+        self, keywords: list[str] | str, limit: int | None = None
+    ) -> ServeResponse:
+        """``GET /query`` — column-keyword query over the server's store."""
+        import urllib.parse
+
+        if isinstance(keywords, str):
+            keywords = [keywords]
+        params = [("kw", keyword) for keyword in keywords]
+        if limit is not None:
+            params.append(("limit", str(limit)))
+        return self._request("/query?" + urllib.parse.urlencode(params))
+
     def healthz(self) -> ServeResponse:
         """``GET /healthz``."""
         return self._request("/healthz")

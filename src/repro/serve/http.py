@@ -46,6 +46,7 @@ the chaos harness's injection point.
 Endpoints::
 
     POST /v1/segment   segment a site payload (JSON in, JSON out)
+    GET  /query        column-keyword query over the --store database
     GET  /healthz      liveness + queue depth + drain state
     GET  /metricz      the shared MetricsRegistry as JSON
 
@@ -63,6 +64,7 @@ import signal
 import socket
 import threading
 import time
+import urllib.parse
 import uuid
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -335,6 +337,25 @@ class SegmentationServer:
             in_flight=self.in_flight(),
         )
 
+    def _query_body(self, query_string: str) -> dict[str, Any]:
+        """Parse ``/query?kw=name&kw=charge`` (or ``?q=name,charge``).
+
+        Raises:
+            ServeError: propagated from the service (400/404/500).
+        """
+        params = urllib.parse.parse_qs(query_string)
+        keywords = list(params.get("kw", []))
+        for joined in params.get("q", []):
+            keywords.extend(joined.split(","))
+        limit = 20
+        if params.get("limit"):
+            try:
+                limit = int(params["limit"][0])
+            except ValueError as error:
+                raise ServeError(400, "limit must be an integer") from error
+        method = params["method"][0] if params.get("method") else None
+        return self.service.query(keywords, limit=limit, method=method)
+
     def _metricz_body(self) -> dict[str, Any]:
         """The service registry, plus the supervisor's folded snapshot."""
         body = self.service.metrics_dict()
@@ -390,11 +411,22 @@ class SegmentationServer:
 
             def do_GET(self) -> None:
                 trace_id = uuid.uuid4().hex[:16]
-                if self.path == "/healthz":
+                path, _, query_string = self.path.partition("?")
+                if path == "/healthz":
                     self._reply(200, server._health_body(), trace_id)
-                elif self.path == "/metricz":
+                elif path == "/metricz":
                     self._reply(200, server._metricz_body(), trace_id)
-                elif self.path == "/v1/segment":
+                elif path == "/query":
+                    # Store queries are cheap sqlite reads; they are
+                    # answered inline (like /healthz), never queued
+                    # behind segmentation work.
+                    try:
+                        body = server._query_body(query_string)
+                    except ServeError as error:
+                        self._error(error, trace_id)
+                        return
+                    self._reply(200, body, trace_id)
+                elif path == "/v1/segment":
                     self._error(ServeError(405, "use POST"), trace_id)
                 else:
                     self._error(

@@ -45,6 +45,7 @@ __all__ = [
     "PayloadError",
     "batch_summary",
     "pages_from_payload",
+    "run_page_summaries",
     "segmentation_records",
     "site_run_summary",
     "wrapped_row_records",
@@ -75,6 +76,33 @@ def wrapped_row_records(rows: Sequence[WrappedRow]) -> list[dict[str, Any]]:
     return [{"texts": row.texts, "columns": list(row.columns)} for row in rows]
 
 
+def run_page_summaries(
+    run: SiteRun, timings: bool = False
+) -> list[dict[str, Any]]:
+    """One wire page dict per surviving list page of a ``SiteRun``.
+
+    The single shaping of pipeline pages, shared by the service's
+    ``/v1/segment`` responses, :func:`site_run_summary`, and the store
+    ingester; ``timings=True`` adds the diagnostic fields the CLI
+    summary carries (unassigned extracts, per-page elapsed seconds).
+    """
+    pages: list[dict[str, Any]] = []
+    for page_run in run.pages:
+        entry: dict[str, Any] = {
+            "url": page_run.page.url,
+            "records": segmentation_records(page_run.segmentation),
+            "record_count": len(page_run.segmentation.records),
+        }
+        if timings:
+            entry["unassigned"] = [
+                observation.extract.text
+                for observation in page_run.segmentation.unassigned
+            ]
+            entry["elapsed_s"] = round(page_run.elapsed, 6)
+        pages.append(entry)
+    return pages
+
+
 def site_run_summary(
     run: SiteRun, elapsed_s: float | None = None
 ) -> dict[str, Any]:
@@ -83,19 +111,7 @@ def site_run_summary(
         "method": run.method,
         "template_ok": run.template_verdict.ok,
         "whole_page_fallback": run.whole_page_fallback,
-        "pages": [
-            {
-                "url": page_run.page.url,
-                "records": segmentation_records(page_run.segmentation),
-                "record_count": len(page_run.segmentation.records),
-                "unassigned": [
-                    observation.extract.text
-                    for observation in page_run.segmentation.unassigned
-                ],
-                "elapsed_s": round(page_run.elapsed, 6),
-            }
-            for page_run in run.pages
-        ],
+        "pages": run_page_summaries(run, timings=True),
         "record_count": sum(
             len(page_run.segmentation.records) for page_run in run.pages
         ),
@@ -119,9 +135,16 @@ def batch_summary(batch: Any, method: str) -> dict[str, Any]:
             "pages": [
                 {
                     "url": page.url,
-                    # Batch workers reduce records to display strings
-                    # ("r0: a | b | c"); ship them as-is.
-                    "records": list(page.records),
+                    # With wire entries collected (segment-dir --store)
+                    # records take the structured {"texts", "columns"}
+                    # shape every other consumer ships; batch workers
+                    # otherwise reduce them to display strings
+                    # ("r0: a | b | c") and those go out as-is.
+                    "records": (
+                        page.wire["records"]
+                        if getattr(page, "wire", None)
+                        else list(page.records)
+                    ),
                     "record_count": page.record_count,
                     "unassigned": list(page.unassigned),
                     "elapsed_s": round(page.elapsed, 6),

@@ -71,11 +71,18 @@ from repro.serve.registry import WrapperRegistry
 from repro.serve.schema import (
     PayloadError,
     pages_from_payload,
-    segmentation_records,
+    run_page_summaries,
     wrapped_row_records,
 )
+from repro.store import RelationalStore, StoreError, ingest_pages, page_entry
+from repro.store.query import query_store
+from repro.webdoc.page import Page
 from repro.wrapper.apply import apply_wrapper
 from repro.wrapper.induce import RowWrapper, induce_wrapper
+
+#: Segmentation meta keys that mark a run too degraded to ingest
+#: (the runner quarantines on the same keys).
+_DEGRADED_META = ("segmenter_error", "empty_problem")
 
 __all__ = [
     "SERVICE_GRAPH",
@@ -210,6 +217,10 @@ class ServiceConfig:
             may sit before the HTTP layer's watchdog finalizes it as a
             504 and replaces the wedged worker thread (None disables
             the watchdog).
+        store_path: when set, every healthy response is also ingested
+            into this :class:`~repro.store.RelationalStore` (online
+            ingest), and ``GET /query`` answers column-keyword
+            queries over it.
     """
 
     method: str = "prob"
@@ -223,6 +234,7 @@ class ServiceConfig:
     max_queue: int = 8
     max_body_bytes: int = 16 * 1024 * 1024
     hung_grace_s: float | None = 5.0
+    store_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -260,6 +272,11 @@ class SegmentationService:
                 max_bytes=self.config.wrapper_cache_max_bytes,
             )
         self.registry = WrapperRegistry(cache=cache, obs=self._request_obs())
+        self.store: RelationalStore | None = None
+        if self.config.store_path is not None:
+            self.store = RelationalStore(
+                self.config.store_path, obs=self._request_obs()
+            )
 
     def _request_obs(self) -> Observability:
         """A per-request bundle: private span stack, shared metrics."""
@@ -332,6 +349,10 @@ class SegmentationService:
             SERVICE_GRAPH.run(warm_ctx, targets=("apply",), obs=obs)
             pages, drift = warm_ctx["apply"]
             if not drift.drifted:
+                self._store_ingest(
+                    site_id, method, pages, list_pages, details,
+                    degraded=False, obs=obs,
+                )
                 return self._response(
                     site_id, method, "wrapper", pages, drift, cached=True
                 )
@@ -344,7 +365,11 @@ class SegmentationService:
             SERVICE_GRAPH.run(apply_ctx, targets=("apply",), obs=obs)
             pages, _ = apply_ctx["apply"]
         else:
-            pages = self._pages_from_run(run)
+            pages = run_page_summaries(run)
+        self._store_ingest(
+            site_id, method, pages, list_pages, details,
+            degraded=self._run_degraded(run, len(list_pages)), obs=obs,
+        )
         return self._response(
             site_id, method, "pipeline", pages, drift,
             cached=False, induced=wrapper is not None,
@@ -376,16 +401,80 @@ class SegmentationService:
             self.registry.invalidate(ctx["site_id"], ctx["method"])
         return run, wrapper
 
+    # -- the relational store (online ingest + /query) -----------------------
+
     @staticmethod
-    def _pages_from_run(run: SiteRun) -> list[dict[str, Any]]:
-        return [
-            {
-                "url": page_run.page.url,
-                "records": segmentation_records(page_run.segmentation),
-                "record_count": len(page_run.segmentation.records),
-            }
+    def _run_degraded(run: SiteRun, expected_pages: int) -> bool:
+        """Too broken to ingest: missing pages or quarantine-grade meta."""
+        if len(run.pages) < expected_pages:
+            return True
+        return any(
+            key in page_run.segmentation.meta
             for page_run in run.pages
-        ]
+            for key in _DEGRADED_META
+        )
+
+    def _store_ingest(
+        self,
+        site_id: str,
+        method: str,
+        pages: list[dict[str, Any]],
+        list_pages: list[Page],
+        details: list[list[Page]],
+        degraded: bool,
+        obs: Observability,
+    ) -> None:
+        """Online ingest after a response; never breaks the response."""
+        if self.store is None:
+            return
+        if degraded or not any(page.get("records") for page in pages):
+            obs.counter("store.ingest.skipped").inc()
+            return
+        try:
+            details_by_url = {
+                list_page.url: page_details
+                for list_page, page_details in zip(list_pages, details)
+            }
+            entries = [
+                page_entry(
+                    page["url"],
+                    page["records"],
+                    details_by_url.get(page["url"]),
+                )
+                for page in pages
+            ]
+            ingest_pages(
+                self.store, site_id, method, entries, source="serve", obs=obs
+            )
+        except Exception:  # a broken store must not fail the request
+            obs.counter("store.ingest.errors").inc()
+
+    def query(
+        self,
+        keywords: list[str] | str,
+        limit: int = 20,
+        method: str | None = None,
+    ) -> dict[str, Any]:
+        """Answer ``GET /query`` from the configured store.
+
+        Raises:
+            ServeError: 404 without a store, 400 on an empty keyword
+                list, 500 when the store refuses.
+        """
+        if self.store is None:
+            raise ServeError(
+                404, "no store configured (start with --store PATH)"
+            )
+        obs = self._request_obs()
+        try:
+            result = query_store(
+                self.store, keywords, limit=limit, method=method, obs=obs
+            )
+        except ValueError as error:
+            raise ServeError(400, str(error)) from error
+        except StoreError as error:
+            raise ServeError(500, f"store error: {error}") from error
+        return result.as_dict()
 
     def _response(
         self,

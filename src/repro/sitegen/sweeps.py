@@ -8,7 +8,12 @@ builders here produce families of sites varying one factor:
   far-pointing planted mentions per page (the inconsistency type that
   breaks hard constraints), for robustness curves;
 * :func:`sized_site` — a clean grid site with a chosen record count,
-  for timing/scaling curves.
+  for timing/scaling curves;
+* :func:`catalog_site` — one of an unbounded family of small sites
+  alternating domain and rotating detail-label vocabulary, for
+  store-scale corpora where cross-site attribute matching has real
+  work to do (some sites share a label exactly, some by word overlap,
+  some not at all).
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from repro.sitegen.domains.corrections import (
 from repro.sitegen.domains.propertytax import _parcel_schema, _tax_extras
 from repro.sitegen.site import GeneratedSite, RowLayout, SiteSpec
 
-__all__ = ["noisy_site", "sized_site"]
+__all__ = ["catalog_site", "noisy_site", "sized_site"]
 
 
 def noisy_site(
@@ -68,6 +73,56 @@ def noisy_site(
         seed=seed,
         detail_extras=_corrections_extras,
         post_process=_no_categorical_singletons,
+    )
+    return GeneratedSite(spec)
+
+
+#: Label vocabularies the catalog family rotates through — the same
+#: spread the real corpus shows (e.g. "Assessed Value" / "Market
+#: Value" / "Just Value" across the three county assessors).
+_PARCEL_LABELS = (
+    {"parcel": "Parcel ID", "owner": "Owner", "value": "Assessed Value"},
+    {"parcel": "Parcel Number", "owner": "Owner Name", "value": "Market Value"},
+    {"parcel": "Folio ID", "owner": "Owner", "value": "Just Value"},
+)
+_INMATE_LABELS = (
+    {"name": "Name", "number": "Offender Number", "status": "Status"},
+    {"name": "Inmate Name", "number": "Inmate Number", "status": "Status"},
+    {"name": "Name", "number": "ID Number", "status": "Custody Status"},
+)
+
+
+def catalog_site(
+    index: int, records: int = 8, seed: int = 902
+) -> GeneratedSite:
+    """Site ``index`` of the unbounded store-benchmark family.
+
+    Even indices are property-tax grids, odd ones corrections grids;
+    within a domain the detail labels rotate through three variant
+    vocabularies, so a corpus of these exercises the attribute
+    catalog's exact, word-overlap and no-match paths alike.
+    """
+    if index % 2 == 0:
+        domain, schema = "propertytax", _parcel_schema("PA")
+        labels = _PARCEL_LABELS[(index // 2) % len(_PARCEL_LABELS)]
+        extras = _tax_extras
+        post = None
+    else:
+        domain, schema = "corrections", _inmate_schema("C")
+        labels = _INMATE_LABELS[(index // 2) % len(_INMATE_LABELS)]
+        extras = _corrections_extras
+        post = _no_categorical_singletons
+    spec = SiteSpec(
+        name=f"catalog-{index:03d}",
+        title=f"Catalog Site {index}",
+        domain=domain,
+        schema=schema,
+        records_per_page=(records, records),
+        layout=RowLayout.GRID,
+        seed=seed + index,
+        detail_labels=labels,
+        detail_extras=extras,
+        post_process=post,
     )
     return GeneratedSite(spec)
 

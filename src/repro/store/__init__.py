@@ -1,0 +1,58 @@
+"""The queryable relational store: crawl → segment → store → query.
+
+This package closes the loop the paper opens: segmentation
+reconstructs each site's hidden relation, and the store materializes
+those relations into one embedded sqlite database, matches their
+columns into a cross-site attribute catalog, and answers
+column-keyword queries over everything ingested.
+
+* :mod:`repro.store.db` — :class:`RelationalStore`: the sqlite
+  schema, thread-safe connection, and :class:`StoreError`;
+* :mod:`repro.store.ingest` — the one ingest path shared by the
+  batch runner (``segment-dir --store``) and the online service
+  (``serve --store``), idempotent by content fingerprint;
+* :mod:`repro.store.catalog` — canonical attribute ids +
+  deterministic keyword matching;
+* :mod:`repro.store.query` — ranked, provenance-tagged
+  column-keyword answers (library / ``repro query`` / ``GET /query``).
+
+See ``docs/store.md`` for the schema, the ingest paths and the query
+semantics.
+
+Usage::
+
+    from repro.store import RelationalStore, ingest_pages, query_store
+
+    with RelationalStore("segments.db") as store:
+        ingest_pages(store, "lee", "prob", entries)
+        result = query_store(store, "owner, assessed value")
+        for row in result.rows:
+            print(row["site"], row["page"], row["values"])
+"""
+
+from repro.store.catalog import Catalog, canonical_label
+from repro.store.db import RelationalStore, StoreError
+from repro.store.ingest import (
+    IngestReport,
+    ingest_batch,
+    ingest_pages,
+    page_entry,
+    site_fingerprint,
+)
+from repro.store.query import QueryResult, TableHit, parse_keywords, query_store
+
+__all__ = [
+    "Catalog",
+    "IngestReport",
+    "QueryResult",
+    "RelationalStore",
+    "StoreError",
+    "TableHit",
+    "canonical_label",
+    "ingest_batch",
+    "ingest_pages",
+    "page_entry",
+    "parse_keywords",
+    "query_store",
+    "site_fingerprint",
+]

@@ -1,0 +1,154 @@
+"""The cross-site attribute catalog: one id per semantic column.
+
+The paper names a site's columns from its own detail labels
+(:mod:`repro.relational.naming`); this module lifts those per-site
+names into a *cross-site* vocabulary so a column-keyword query can
+match "parcel id" against Allegheny's ``Parcel ID`` and Butler's
+``Parcel Number`` alike.  Matching is purely textual and purely
+deterministic:
+
+* every named column is keyed by its **canonical label**
+  (:func:`canonical_label`: lowercased, trailing ``":"`` stripped,
+  punctuation collapsed to single spaces), so the attribute a name
+  maps to is a function of the name alone — never of which site got
+  ingested first (the determinism the naming-layer fix guarantees
+  upstream);
+* columns the naming layer could not name get a **site-local** key
+  (:func:`local_key`) that can never collide with a semantic name, so
+  anonymous columns never falsely merge across sites;
+* a query keyword matches an attribute exactly (canonical equality,
+  strength 1.0) or by word containment either way (``"name"`` vs
+  ``"offender name"``, strength 0.5) — the same exact/containment
+  ladder the column namer votes with.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.store.db import RelationalStore
+
+__all__ = [
+    "Catalog",
+    "canonical_label",
+    "local_key",
+    "match_strength",
+]
+
+_NON_WORD = re.compile(r"[^a-z0-9]+")
+
+#: Canonical prefix of site-local (unnamed-column) attributes; ``@``
+#: cannot survive :func:`canonical_label`, so collisions are impossible.
+_LOCAL_PREFIX = "@"
+
+
+def canonical_label(text: str) -> str:
+    """The canonical form semantic attribute matching runs on."""
+    text = text.strip().rstrip(":").lower()
+    return _NON_WORD.sub(" ", text).strip()
+
+
+def local_key(site_id: str, method: str, column_key: str) -> str:
+    """A per-site attribute key for a column with no semantic name."""
+    return f"{_LOCAL_PREFIX}{site_id}/{method}:{column_key}"
+
+
+def match_strength(keyword_canonical: str, attribute_canonical: str) -> float:
+    """How well one canonical keyword matches one canonical attribute.
+
+    1.0 exact, 0.5 when either side's words contain the other's,
+    0.0 otherwise (and always 0.0 against site-local attributes).
+    """
+    if attribute_canonical.startswith(_LOCAL_PREFIX):
+        return 0.0
+    if not keyword_canonical or not attribute_canonical:
+        return 0.0
+    if keyword_canonical == attribute_canonical:
+        return 1.0
+    keyword_words = set(keyword_canonical.split())
+    attribute_words = set(attribute_canonical.split())
+    if keyword_words <= attribute_words or attribute_words <= keyword_words:
+        return 0.5
+    return 0.0
+
+
+class Catalog:
+    """Attribute registration + keyword matching over one store."""
+
+    def __init__(self, store: RelationalStore) -> None:
+        self.store = store
+
+    def attribute_id(self, canonical: str, display: str) -> int:
+        """Get-or-create the attribute row for one canonical text."""
+        self.store.execute(
+            "INSERT OR IGNORE INTO attributes (canonical, display)"
+            " VALUES (?, ?)",
+            (canonical, display),
+        )
+        return self.store.execute(
+            "SELECT attribute_id FROM attributes WHERE canonical = ?",
+            (canonical,),
+        )[0][0]
+
+    def register_columns(
+        self,
+        site_id: str,
+        method: str,
+        columns: list[tuple[str, int, str | None]],
+    ) -> None:
+        """(Re)register one site's induced schema.
+
+        Args:
+            columns: ``(column_key, position, semantic name or None)``
+                per column, e.g. ``("L1", 1, "Owner")``.
+        """
+        self.store.execute(
+            "DELETE FROM site_columns WHERE site_id = ? AND method = ?",
+            (site_id, method),
+        )
+        for column_key, position, name in columns:
+            if name:
+                canonical = canonical_label(name)
+                attribute = self.attribute_id(canonical or name, name)
+            else:
+                attribute = self.attribute_id(
+                    local_key(site_id, method, column_key), column_key
+                )
+            self.store.execute(
+                "INSERT INTO site_columns"
+                " (site_id, method, column_key, position, name,"
+                "  attribute_id) VALUES (?, ?, ?, ?, ?, ?)",
+                (site_id, method, column_key, position, name, attribute),
+            )
+
+    def match_keyword(self, keyword: str) -> dict[int, float]:
+        """``attribute_id -> strength`` for every matching attribute."""
+        canonical = canonical_label(keyword)
+        matches: dict[int, float] = {}
+        for attribute_id, attr_canonical in self.store.execute(
+            "SELECT attribute_id, canonical FROM attributes"
+        ):
+            strength = match_strength(canonical, attr_canonical)
+            if strength > 0.0:
+                matches[attribute_id] = strength
+        return matches
+
+    def attributes(self) -> list[dict[str, Any]]:
+        """Every semantic (non-local) attribute, with its column count."""
+        rows = self.store.execute(
+            "SELECT a.attribute_id, a.canonical, a.display, COUNT(c.site_id)"
+            " FROM attributes a"
+            " LEFT JOIN site_columns c ON c.attribute_id = a.attribute_id"
+            " GROUP BY a.attribute_id ORDER BY a.canonical"
+        )
+        return [
+            {
+                "attribute_id": attribute_id,
+                "canonical": canonical,
+                "display": display,
+                "columns": columns,
+            }
+            for attribute_id, canonical, display, columns in rows
+            if not canonical.startswith(_LOCAL_PREFIX)
+        ]

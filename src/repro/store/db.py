@@ -1,0 +1,255 @@
+"""The sqlite-backed relational store: schema, connection, errors.
+
+:class:`RelationalStore` owns one sqlite database holding every
+segmented site the pipeline has materialized — the "reconstructed
+database" of the paper made durable and queryable.  Five tables::
+
+    sites        one row per (site_id, method): the content
+                 fingerprint ingestion idempotence keys on, plus
+                 page/record counts and the ingest source
+    attributes   the cross-site attribute catalog: one row per
+                 canonical attribute text (see repro.store.catalog)
+    site_columns one row per column of a site's induced schema,
+                 pointing at its shared attribute id
+    cells        the data: one row per (page, record, column) value
+    meta         schema-version bookkeeping
+
+Design constraints the class enforces:
+
+* **stdlib only** — plain :mod:`sqlite3`, WAL journaling so the serve
+  path's concurrent readers never block the writer, and a busy
+  timeout so two processes ingesting into one file queue instead of
+  erroring;
+* **one failure type** — every :class:`sqlite3.Error` (corrupt file,
+  locked database, full disk) surfaces as :class:`StoreError`, a
+  :class:`~repro.core.exceptions.ReproError`, so callers degrade with
+  a message instead of a traceback;
+* **thread safety** — one connection guarded by an RLock; the serve
+  front end shares a store across worker threads.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.exceptions import ReproError
+from repro.obs import Observability, current as current_obs
+
+__all__ = ["RelationalStore", "StoreError"]
+
+#: Bump when the DDL below changes shape incompatibly.
+SCHEMA_VERSION = 1
+
+_DDL = (
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS sites (
+        site_id TEXT NOT NULL,
+        method TEXT NOT NULL,
+        fingerprint TEXT NOT NULL,
+        page_count INTEGER NOT NULL,
+        record_count INTEGER NOT NULL,
+        source TEXT NOT NULL,
+        ingested_at REAL NOT NULL,
+        PRIMARY KEY (site_id, method)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS attributes (
+        attribute_id INTEGER PRIMARY KEY,
+        canonical TEXT NOT NULL UNIQUE,
+        display TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS site_columns (
+        site_id TEXT NOT NULL,
+        method TEXT NOT NULL,
+        column_key TEXT NOT NULL,
+        position INTEGER NOT NULL,
+        name TEXT,
+        attribute_id INTEGER NOT NULL REFERENCES attributes(attribute_id),
+        PRIMARY KEY (site_id, method, column_key)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS cells (
+        site_id TEXT NOT NULL,
+        method TEXT NOT NULL,
+        page_url TEXT NOT NULL,
+        record_index INTEGER NOT NULL,
+        column_key TEXT NOT NULL,
+        value TEXT NOT NULL,
+        PRIMARY KEY (site_id, method, page_url, record_index, column_key)
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS site_columns_by_attribute
+        ON site_columns (attribute_id)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS cells_by_column
+        ON cells (site_id, method, column_key)
+    """,
+)
+
+
+class StoreError(ReproError):
+    """Any relational-store failure (corrupt file, lock, bad input)."""
+
+
+class RelationalStore:
+    """One sqlite store of segmented sites (see module docstring).
+
+    Args:
+        path: database file (created, with parents, when missing).
+        obs: observability bundle booking ``store.*`` counters and
+            spans (defaults to the installed bundle).
+        timeout_s: how long a write waits on another connection's
+            lock before failing as :class:`StoreError` (tests use a
+            tiny value to assert the locked-file behavior).
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        obs: Observability | None = None,
+        timeout_s: float = 5.0,
+    ) -> None:
+        self.path = Path(path)
+        self.obs = obs if obs is not None else current_obs()
+        self._lock = threading.RLock()
+        self._closed = False
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._conn = sqlite3.connect(
+                str(self.path),
+                timeout=timeout_s,
+                check_same_thread=False,
+                isolation_level=None,  # explicit transactions only
+            )
+        except (sqlite3.Error, OSError) as error:
+            raise StoreError(
+                f"cannot open store {self.path}: {error}"
+            ) from error
+        try:
+            with self._lock:
+                # WAL lets the serve path's readers run beside the
+                # writer; NORMAL sync is durable enough for a cache of
+                # reproducible ingests.  Both are best-effort (some
+                # filesystems refuse WAL) — the schema is not.
+                try:
+                    self._conn.execute("PRAGMA journal_mode=WAL")
+                    self._conn.execute("PRAGMA synchronous=NORMAL")
+                except sqlite3.Error:
+                    pass
+                self._conn.execute("BEGIN IMMEDIATE")
+                for statement in _DDL:
+                    self._conn.execute(statement)
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+                self._conn.execute("COMMIT")
+        except sqlite3.Error as error:
+            self._conn.close()
+            raise StoreError(
+                f"{self.path} is not a usable store database: {error}"
+            ) from error
+
+    # -- plumbing ------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._conn.close()
+
+    def __enter__(self) -> "RelationalStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def execute(
+        self, sql: str, params: tuple[Any, ...] = ()
+    ) -> list[tuple[Any, ...]]:
+        """Run one statement, returning all rows; errors as StoreError."""
+        with self._lock:
+            if self._closed:
+                raise StoreError(f"store {self.path} is closed")
+            try:
+                return self._conn.execute(sql, params).fetchall()
+            except sqlite3.Error as error:
+                raise StoreError(f"store {self.path}: {error}") from error
+
+    @contextmanager
+    def transaction(self) -> Iterator[sqlite3.Connection]:
+        """One exclusive write transaction (ingest uses exactly one).
+
+        Raises:
+            StoreError: on any sqlite failure, after rolling back.
+        """
+        with self._lock:
+            if self._closed:
+                raise StoreError(f"store {self.path} is closed")
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+            except sqlite3.Error as error:
+                raise StoreError(f"store {self.path}: {error}") from error
+            try:
+                yield self._conn
+            except sqlite3.Error as error:
+                self._conn.execute("ROLLBACK")
+                raise StoreError(f"store {self.path}: {error}") from error
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            else:
+                self._conn.execute("COMMIT")
+
+    # -- facts ---------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Row counts per table — what idempotence tests assert on."""
+        return {
+            table: self.execute(f"SELECT COUNT(*) FROM {table}")[0][0]
+            for table in ("sites", "attributes", "site_columns", "cells")
+        }
+
+    def site_fingerprint(self, site_id: str, method: str) -> str | None:
+        rows = self.execute(
+            "SELECT fingerprint FROM sites WHERE site_id = ? AND method = ?",
+            (site_id, method),
+        )
+        return rows[0][0] if rows else None
+
+    def sites(self) -> list[dict[str, Any]]:
+        """Every ingested site table, newest first."""
+        rows = self.execute(
+            "SELECT site_id, method, fingerprint, page_count, record_count,"
+            " source, ingested_at FROM sites ORDER BY ingested_at DESC,"
+            " site_id, method"
+        )
+        keys = (
+            "site_id", "method", "fingerprint", "page_count",
+            "record_count", "source", "ingested_at",
+        )
+        return [dict(zip(keys, row)) for row in rows]
+
+
+def now() -> float:
+    """The ingest timestamp source (separable for tests)."""
+    return time.time()

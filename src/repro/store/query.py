@@ -1,0 +1,243 @@
+"""Column-keyword queries over the relational store.
+
+Following *Answering Table Queries on the Web using Column Keywords*
+(see PAPERS.md), a query is just a set of column keywords — ``"name,
+charge, bail"`` — and the answer is (a) the ingested site tables
+**ranked** by how well their schemas cover those keywords and (b) the
+matching columns' rows, **provenance-tagged** back to the exact site,
+page and record each value was segmented from.
+
+Ranking is deterministic: a table's score is the mean match strength
+of its best column per keyword (exact canonical match 1.0, word
+containment 0.5 — :func:`repro.store.catalog.match_strength`), ties
+broken by more matched keywords, more records, then ``site_id`` /
+``method`` sort order.  Within a table, a keyword binds to its
+best-matching column, ties to the leftmost column.
+
+Exposed three ways, all answering from this one function: the library
+call (:func:`query_store`), ``repro query``, and ``GET /query`` on
+the serve front end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import Observability
+from repro.store.catalog import Catalog, canonical_label
+from repro.store.db import RelationalStore
+
+__all__ = ["QueryResult", "TableHit", "parse_keywords", "query_store"]
+
+
+def parse_keywords(raw: str | list[str]) -> list[str]:
+    """Split ``"name, charge, bail"`` (or argv words) into keywords."""
+    if isinstance(raw, str):
+        raw = raw.split(",")
+    keywords: list[str] = []
+    for chunk in raw:
+        for part in str(chunk).split(","):
+            part = part.strip()
+            if part and canonical_label(part):
+                keywords.append(part)
+    return keywords
+
+
+@dataclass
+class TableHit:
+    """One site table's match against the query."""
+
+    site_id: str
+    method: str
+    score: float
+    record_count: int
+    #: keyword -> {"column": "L1", "attribute": "Owner", "strength": 1.0}
+    columns: dict[str, dict[str, Any]] = field(default_factory=dict)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "site": self.site_id,
+            "method": self.method,
+            "score": round(self.score, 4),
+            "record_count": self.record_count,
+            "matched": len(self.columns),
+            "columns": self.columns,
+        }
+
+
+@dataclass
+class QueryResult:
+    """The ranked answer to one column-keyword query."""
+
+    keywords: list[str]
+    tables: list[TableHit] = field(default_factory=list)
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """Provenance-tagged rows, unioned in table-rank order."""
+        unioned: list[dict[str, Any]] = []
+        for hit in self.tables:
+            unioned.extend(hit.rows)
+        return unioned
+
+    def as_dict(self) -> dict[str, Any]:
+        """The wire shape shared verbatim by the CLI and ``/query``."""
+        rows = self.rows
+        return {
+            "keywords": self.keywords,
+            "tables": [hit.as_dict() for hit in self.tables],
+            "rows": rows,
+            "row_count": len(rows),
+        }
+
+
+def _ranked_hits(
+    store: RelationalStore,
+    keywords: list[str],
+    method: str | None,
+) -> list[TableHit]:
+    catalog = Catalog(store)
+    matches = {keyword: catalog.match_keyword(keyword) for keyword in keywords}
+    attribute_ids = sorted(
+        {attr for per_kw in matches.values() for attr in per_kw}
+    )
+    if not attribute_ids:
+        return []
+    placeholders = ",".join("?" for _ in attribute_ids)
+    sql = (
+        "SELECT c.site_id, c.method, c.column_key, c.attribute_id,"
+        " a.display FROM site_columns c"
+        " JOIN attributes a ON a.attribute_id = c.attribute_id"
+        f" WHERE c.attribute_id IN ({placeholders})"
+    )
+    params: list[Any] = list(attribute_ids)
+    if method is not None:
+        sql += " AND c.method = ?"
+        params.append(method)
+    sql += " ORDER BY c.site_id, c.method, c.position"
+
+    by_site: dict[tuple[str, str], dict[str, dict[str, Any]]] = {}
+    for site_id, site_method, column_key, attribute_id, display in (
+        store.execute(sql, tuple(params))
+    ):
+        bindings = by_site.setdefault((site_id, site_method), {})
+        for keyword in keywords:
+            strength = matches[keyword].get(attribute_id, 0.0)
+            if strength <= 0.0:
+                continue
+            current = bindings.get(keyword)
+            # Best strength wins; ties keep the leftmost column (rows
+            # arrive in position order).
+            if current is None or strength > current["strength"]:
+                bindings[keyword] = {
+                    "column": column_key,
+                    "attribute": display,
+                    "strength": strength,
+                }
+
+    record_counts = dict(
+        ((site_id, site_method), count)
+        for site_id, site_method, count in store.execute(
+            "SELECT site_id, method, record_count FROM sites"
+        )
+    )
+    hits = [
+        TableHit(
+            site_id=site_id,
+            method=site_method,
+            score=sum(b["strength"] for b in bindings.values())
+            / len(keywords),
+            record_count=record_counts.get((site_id, site_method), 0),
+            columns=bindings,
+        )
+        for (site_id, site_method), bindings in by_site.items()
+    ]
+    hits.sort(
+        key=lambda hit: (
+            -hit.score,
+            -len(hit.columns),
+            -hit.record_count,
+            hit.site_id,
+            hit.method,
+        )
+    )
+    return hits
+
+
+def _fill_rows(
+    store: RelationalStore, hit: TableHit, limit: int
+) -> None:
+    """Attach up to ``limit`` provenance-tagged rows to one hit."""
+    if limit <= 0 or not hit.columns:
+        return
+    column_keys = sorted({b["column"] for b in hit.columns.values()})
+    placeholders = ",".join("?" for _ in column_keys)
+    rows: dict[tuple[str, int], dict[str, str]] = {}
+    for page_url, record_index, column_key, value in store.execute(
+        "SELECT page_url, record_index, column_key, value FROM cells"
+        " WHERE site_id = ? AND method = ?"
+        f" AND column_key IN ({placeholders})"
+        " ORDER BY page_url, record_index",
+        (hit.site_id, hit.method, *column_keys),
+    ):
+        rows.setdefault((page_url, record_index), {})[column_key] = value
+    for (page_url, record_index), cells in rows.items():
+        if len(hit.rows) >= limit:
+            break
+        values = {
+            keyword: cells[binding["column"]]
+            for keyword, binding in hit.columns.items()
+            if binding["column"] in cells
+        }
+        if not values:
+            continue
+        hit.rows.append(
+            {
+                "site": hit.site_id,
+                "method": hit.method,
+                "page": page_url,
+                "record": record_index,
+                "values": values,
+            }
+        )
+
+
+def query_store(
+    store: RelationalStore,
+    keywords: list[str] | str,
+    limit: int = 20,
+    method: str | None = None,
+    obs: Observability | None = None,
+) -> QueryResult:
+    """Answer one column-keyword query (see module docstring).
+
+    Args:
+        store: the ingested store.
+        keywords: column keywords (list, or one comma-joined string).
+        limit: maximum unioned rows returned (spread over the ranked
+            tables, best table first).
+        method: restrict to one segmentation method's tables.
+
+    Raises:
+        ValueError: no usable keywords (transports map this to 400).
+        StoreError: the database refused.
+    """
+    obs = obs if obs is not None else store.obs
+    parsed = parse_keywords(keywords)
+    if not parsed:
+        raise ValueError("query needs at least one column keyword")
+    started = time.perf_counter()
+    with obs.span("store.query", keywords=len(parsed)):
+        obs.counter("store.query.count").inc()
+        hits = _ranked_hits(store, parsed, method)
+        remaining = max(limit, 0)
+        for hit in hits:
+            _fill_rows(store, hit, remaining)
+            remaining -= len(hit.rows)
+    obs.histogram("store.query.seconds").observe(
+        time.perf_counter() - started
+    )
+    return QueryResult(keywords=parsed, tables=hits)

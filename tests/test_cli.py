@@ -201,3 +201,78 @@ class TestShow:
         code, output = run_cli("show", "ohio", "--detail", "0")
         assert code == 0
         assert "Full Record" in output
+
+
+class TestStoreFlow:
+    """segment-dir --store then repro query, end to end on disk."""
+
+    @pytest.fixture(scope="class")
+    def stored(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("storeflow")
+        corpus = root / "corpus"
+        db = root / "tables.db"
+        code, _ = run_cli(
+            "export-corpus", str(corpus), "--sites", "ohio", "superpages"
+        )
+        assert code == 0
+        code, text = run_cli(
+            "segment-dir", str(corpus), "--store", str(db)
+        )
+        assert code == 0
+        return db, text
+
+    def test_segment_dir_reports_store_summary(self, stored):
+        _, text = stored
+        assert "store " in text and " sites, " in text and " rows" in text
+
+    def test_query_ranks_and_prints_rows(self, stored):
+        db, _ = stored
+        code, text = run_cli("query", str(db), "name")
+        assert code == 0
+        assert "== ohio [prob]" in text
+        assert "name→L0" in text
+        assert "-- rows" in text
+
+    def test_query_json_matches_wire_shape(self, stored):
+        db, _ = stored
+        code, text = run_cli("query", str(db), "name", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert set(payload) >= {"keywords", "tables", "rows", "row_count"}
+        assert payload["tables"][0]["site"] in ("ohio", "superpages")
+        assert payload["rows"][0]["record"] == 0
+
+    def test_query_no_match_exits_one(self, stored):
+        db, _ = stored
+        code, text = run_cli("query", str(db), "zzz-no-such-column")
+        assert code == 1
+        assert "no tables match" in text
+
+    def test_query_missing_db_exits_two(self, tmp_path):
+        code, text = run_cli("query", str(tmp_path / "absent.db"), "name")
+        assert code == 2
+        assert "no store database" in text
+
+    def test_reingest_is_noop(self, stored, tmp_path):
+        db, _ = stored
+        corpus = db.parent / "corpus"
+        code, text = run_cli(
+            "segment-dir", str(corpus), "--store", str(db), "--json"
+        )
+        assert code == 0
+        summary = json.loads(text)
+        assert summary["store"]["sites"] == 0
+        assert summary["store"]["unchanged"] == 2
+
+    def test_store_json_pages_are_structured(self, stored, tmp_path):
+        db, _ = stored
+        corpus = db.parent / "corpus"
+        code, text = run_cli(
+            "segment-dir", str(corpus), "--store", str(db), "--json"
+        )
+        assert code == 0
+        summary = json.loads(text)
+        page = summary["sites"][0]["pages"][0]
+        # With --store the JSON records take the service's structured
+        # {"texts", "columns"} shape instead of display strings.
+        assert set(page["records"][0]) == {"texts", "columns"}

@@ -198,3 +198,52 @@ class TestColumnNaming:
         for attributes in fields.values():
             labels.update(attributes)
         assert "Municipality" in labels
+
+
+class TestNamingDeterminism:
+    """Tie-breaks in name_columns are content-pure (PR 8 regression).
+
+    Before the fix, a vote tie fell to ``Counter.most_common`` order
+    (detail-extract insertion order) and a support tie to tuple sort
+    on ``(support, column, label)`` — both functions of ingest order,
+    so the same table named its columns differently across sites that
+    listed the same labels in a different order.
+    """
+
+    @staticmethod
+    def _tied_table():
+        from repro.relational.table_builder import RelationalTable
+
+        return RelationalTable(
+            columns=["L0"],
+            rows=[{"_record": "0", "L0": "same-text"}],
+        )
+
+    def test_vote_tie_breaks_to_smaller_label(self):
+        from repro.relational.naming import name_columns
+
+        table = self._tied_table()
+        # Both labels agree exactly with the one cell: a perfect tie.
+        fields = {0: {"zebra": "same-text", "apple": "same-text"}}
+        assert name_columns(table, fields) == {"L0": "apple"}
+
+    def test_vote_tie_independent_of_label_order(self):
+        from repro.relational.naming import name_columns
+
+        table = self._tied_table()
+        forward = {0: {"apple": "same-text", "zebra": "same-text"}}
+        backward = {0: {"zebra": "same-text", "apple": "same-text"}}
+        assert name_columns(table, forward) == name_columns(table, backward)
+
+    def test_support_tie_prefers_earlier_column(self):
+        from repro.relational.naming import name_columns
+        from repro.relational.table_builder import RelationalTable
+
+        # Two columns, each a perfect match for the same label: the
+        # earlier column must win the contested label every time.
+        table = RelationalTable(
+            columns=["L0", "L1"],
+            rows=[{"_record": "0", "L0": "alpha", "L1": "alpha"}],
+        )
+        fields = {0: {"Name": "alpha"}}
+        assert name_columns(table, fields) == {"L0": "Name"}

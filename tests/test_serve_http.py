@@ -419,3 +419,33 @@ class TestSupervised:
         assert after.body["pages"] == warm.body["pages"]
         restarts = supervisor.metrics.counter("serve.supervisor.restarts")
         assert restarts.value >= 1
+
+
+def test_query_endpoint_over_http(server_factory, tmp_path):
+    """/query answers the store the same requests populated online."""
+    _, client = server_factory(
+        ServiceConfig(method="prob", store_path=str(tmp_path / "q.db"))
+    )
+    site = build_site("ohio")
+    assert client.segment(site_payload(site, "ohio")).status == 200
+
+    answer = client.query(["name", "offense"])
+    assert answer.status == 200
+    assert answer.body["tables"][0]["site"] == "ohio"
+    assert answer.body["row_count"] > 0
+    first = answer.body["rows"][0]
+    assert first["site"] == "ohio" and "record" in first
+
+    # Comma form and the limit parameter ride the query string too.
+    comma = client.query("name,offense", limit=3)
+    assert comma.status == 200
+    assert comma.body["keywords"] == ["name", "offense"]
+    assert comma.body["row_count"] == 3
+
+    empty = client.query([" , "])
+    assert empty.status == 400
+
+
+def test_query_endpoint_without_store_404s(server_factory):
+    _, client = server_factory(ServiceConfig(method="prob"))
+    assert client.query(["name"]).status == 404

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""CI gate: committed ``BENCH_*.json`` headline files must be sound.
+
+Every benchmark writes a machine-readable headline file at the repo
+root (see ``docs/performance.md`` and ``docs/store.md``).  A refactor
+that breaks a benchmark can silently commit an empty, truncated or
+NaN-ridden file — this check makes that a red build instead:
+
+* every ``BENCH_*.json`` parses to a non-empty JSON object;
+* every number anywhere in it (nested included) is finite;
+* each known file still carries its headline keys, so renaming a
+  headline without updating its consumers fails loudly.
+
+Usage::
+
+    python tools/check_bench.py [directory]
+
+Defaults to the repository root.  Exits 1 listing every problem.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Headline keys each known benchmark file must keep carrying.  New
+#: BENCH files without an entry here still get the generic checks.
+HEADLINES = {
+    "BENCH_scaling.json": ("tokens_per_s", "sites_per_min", "serial_s"),
+    "BENCH_serving.json": ("cold_p50_s", "warm_p50_s", "throughput_rps"),
+    "BENCH_chaos.json": ("site", "seed", "procs", "mixes"),
+    "BENCH_store.json": (
+        "sites",
+        "ingest_rows_per_s",
+        "query_p50_ms",
+        "query_p95_ms",
+    ),
+}
+
+
+def non_finite_numbers(value, path="$"):
+    """Paths of every non-finite number nested anywhere in ``value``."""
+    if isinstance(value, bool):
+        return []
+    if isinstance(value, (int, float)):
+        return [] if math.isfinite(value) else [path]
+    if isinstance(value, dict):
+        return [
+            problem
+            for key, child in value.items()
+            for problem in non_finite_numbers(child, f"{path}.{key}")
+        ]
+    if isinstance(value, list):
+        return [
+            problem
+            for index, child in enumerate(value)
+            for problem in non_finite_numbers(child, f"{path}[{index}]")
+        ]
+    return []
+
+
+def check_file(path: Path) -> list[str]:
+    """Every problem with one BENCH file, as printable messages."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path.name}: unreadable ({error})"]
+    if not isinstance(data, dict) or not data:
+        return [f"{path.name}: must be a non-empty JSON object"]
+    problems = [
+        f"{path.name}: non-finite number at {spot}"
+        for spot in non_finite_numbers(data)
+    ]
+    for key in HEADLINES.get(path.name, ()):
+        if key not in data:
+            problems.append(f"{path.name}: missing headline key {key!r}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    files = sorted(root.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json files under {root}", file=sys.stderr)
+        return 1
+    problems = [problem for path in files for problem in check_file(path)]
+    missing = [name for name in HEADLINES if not (root / name).exists()]
+    problems += [f"{name}: expected benchmark file is gone" for name in missing]
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print(f"{len(files)} BENCH files OK: {', '.join(p.name for p in files)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

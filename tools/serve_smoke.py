@@ -29,11 +29,24 @@ With ``--supervised`` it instead smokes the multi-process supervisor:
    from the shared disk registry);
 4. sends SIGTERM and expects a rolling drain and exit code 0.
 
+With ``--store`` it smokes the serve path's relational store:
+
+1. starts ``repro serve --store <tmp db>``;
+2. segments a generated site (online ingest fires after the response)
+   and queries ``GET /query`` for its column keywords, expecting a
+   non-empty ranked answer with provenance-tagged rows;
+3. segments again (warm) and re-queries, expecting the identical
+   answer — online re-ingest of unchanged content is a no-op;
+4. sends SIGTERM, then re-answers the same query offline via ``repro
+   query --json`` on the database file the server left behind — the
+   two transports must agree byte-for-byte.
+
 Exits non-zero on the first failed expectation.  Run from the repo
 root (CI does)::
 
     PYTHONPATH=src python tools/serve_smoke.py
     PYTHONPATH=src python tools/serve_smoke.py --supervised
+    PYTHONPATH=src python tools/serve_smoke.py --store
 """
 
 from __future__ import annotations
@@ -206,6 +219,74 @@ def main_supervised() -> int:
     return 0
 
 
+def main_store() -> int:
+    import json
+
+    store_dir = tempfile.mkdtemp(prefix="smoke-store-")
+    store_db = os.path.join(store_dir, "tables.db")
+    process, address = start_server(extra_args=("--store", store_db))
+    print(f"server up at {address} (store: {store_db})")
+    client = ServeClient(address, timeout_s=120.0)
+    keywords = ["name", "offense"]
+    try:
+        payload = site_payload()
+        cold = client.segment(payload)
+        check(cold.status == 200, "cold request answers 200")
+
+        first = client.query(keywords)
+        check(first.status == 200, "/query answers 200 after online ingest")
+        check(first.body["tables"], "/query returns ranked tables")
+        check(
+            first.body["tables"][0]["site"] == "ohio",
+            "top-ranked table is the ingested site",
+        )
+        check(first.body["row_count"] > 0, "/query returns unioned rows")
+        row = first.body["rows"][0]
+        check(
+            row["site"] == "ohio" and "page" in row and "record" in row,
+            "rows carry provenance (site, page, record)",
+        )
+
+        warm = client.segment(payload)
+        check(warm.status == 200, "warm request answers 200")
+        second = client.query(keywords)
+        check(
+            second.body == first.body,
+            "warm re-ingest is a no-op (identical /query answer)",
+        )
+        check(
+            client.query([" , "]).status == 400,
+            "empty keyword list answers 400",
+        )
+
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=EXIT_TIMEOUT_S)
+        check(code == 0, f"graceful shutdown exits 0 (got {code})")
+
+        # The database the server left behind answers the same query
+        # through the offline CLI, byte-for-byte.
+        offline = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "query", store_db,
+                *keywords, "--json",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=EXIT_TIMEOUT_S,
+        )
+        check(offline.returncode == 0, "repro query exits 0 on the same db")
+        check(
+            json.loads(offline.stdout) == first.body,
+            "offline `repro query --json` matches the /query answer",
+        )
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+    print("store serve smoke: all checks passed")
+    return 0
+
+
 def main() -> int:
     process, address = start_server()
     print(f"server up at {address}")
@@ -297,5 +378,12 @@ if __name__ == "__main__":
         action="store_true",
         help="smoke the multi-process supervisor (kill + recovery) instead",
     )
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="smoke online ingest + /query against a relational store",
+    )
     arguments = parser.parse_args()
-    sys.exit(main_supervised() if arguments.supervised else main())
+    if arguments.supervised:
+        sys.exit(main_supervised())
+    sys.exit(main_store() if arguments.store else main())
