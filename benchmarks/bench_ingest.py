@@ -1,0 +1,95 @@
+"""Ingestion front-door benchmark: bundle precision/recall and pages/sec.
+
+Builds the acceptance-scale mixed crawl — 40 site slots (48 true
+sub-sites once the multi-template slots split), 1300+ pages, more
+than a quarter of them distractors (forms, portals, ads, orphans) —
+and runs the full fingerprint → classify → cluster → bundle path over
+the anonymous page soup.
+
+Asserted invariants: the corpus meets the acceptance floor (1000+
+pages, 40+ sites, >= 25% distractors), every input page is accounted
+for (bundled + quarantined == pages), and the recovered bundles score
+at least 0.95 precision and 0.90 recall against the generator's
+ground truth.
+
+Headlines land in ``BENCH_ingest.json`` (override the directory with
+``BENCH_OUT_DIR``): ``bundle_precision``, ``bundle_recall`` and
+``ingest_pages_per_s`` — see ``docs/ingestion.md`` for how to read
+them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from repro.ingest import ingest_pages
+from repro.sitegen.mixed import MixedCorpusSpec, build_mixed_corpus, score_bundles
+
+SPEC = MixedCorpusSpec(sites=40, seed=20260807)
+
+
+def test_ingest_mixed_crawl(benchmark, capsys):
+    corpus = build_mixed_corpus(SPEC)
+    assert corpus.page_count >= 1000
+    assert len(corpus.sites) >= 40
+    assert corpus.distractor_ratio >= 0.25
+
+    def run_all():
+        started = perf_counter()
+        report = ingest_pages(corpus.pages)
+        ingest_s = perf_counter() - started
+
+        assert report.reconciles(), "page accounting must reconcile"
+        score = score_bundles(
+            corpus.sites,
+            [(bundle.name, bundle.page_urls()) for bundle in report.bundles],
+        )
+        assert score.precision >= 0.95, f"precision {score.precision:.4f}"
+        assert score.recall >= 0.90, f"recall {score.recall:.4f}"
+        return report, score, ingest_s
+
+    report, score, ingest_s = benchmark.pedantic(
+        run_all, iterations=1, rounds=1
+    )
+
+    summary = {
+        "pages": corpus.page_count,
+        "sites": len(corpus.sites),
+        "distractor_ratio": round(corpus.distractor_ratio, 4),
+        "clusters": report.cluster_count,
+        "bundles": len(report.bundles),
+        "bundled_pages": report.bundled_page_count,
+        "quarantined_pages": len(report.quarantined),
+        "bundle_precision": round(score.precision, 4),
+        "bundle_recall": round(score.recall, 4),
+        "exact_bundles": score.exact_bundles,
+        "ingest_s": round(ingest_s, 3),
+        "ingest_pages_per_s": round(corpus.page_count / ingest_s, 1),
+    }
+    out_dir = Path(os.environ.get("BENCH_OUT_DIR", "."))
+    out_path = out_dir / "BENCH_ingest.json"
+    out_path.write_text(json.dumps(summary, indent=2) + "\n")
+    benchmark.extra_info.update(summary)
+
+    with capsys.disabled():
+        print(
+            f"\ningestion front door, {summary['pages']}-page mixed crawl "
+            f"({summary['sites']} true sites, "
+            f"{summary['distractor_ratio']:.0%} distractors):"
+        )
+        print(
+            f"  {summary['bundles']} bundles "
+            f"({summary['exact_bundles']} exact)   "
+            f"precision {summary['bundle_precision']:.4f}   "
+            f"recall {summary['bundle_recall']:.4f}"
+        )
+        print(
+            f"  {summary['ingest_pages_per_s']:,.0f} pages/s "
+            f"({summary['ingest_s']:.2f}s total, "
+            f"{summary['clusters']} template clusters, "
+            f"{summary['quarantined_pages']} quarantined)"
+        )
+        print(f"  wrote {out_path}")

@@ -222,6 +222,71 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="sites to export (default: all 12)",
     )
+    export_corpus.add_argument(
+        "--mixed",
+        type=_worker_count,
+        default=None,
+        metavar="SLOTS",
+        help=(
+            "export an adversarial mixed *crawl* of this many site "
+            "slots instead of clean sample directories (flat pages + "
+            "a crawl.json truth manifest; feed it to `repro ingest`)"
+        ),
+    )
+    export_corpus.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="mixed-crawl generation seed (with --mixed)",
+    )
+
+    ingest = commands.add_parser(
+        "ingest",
+        help=(
+            "turn a crawl of arbitrary mixed pages into runnable site "
+            "bundles (fingerprint -> classify -> cluster -> bundle)"
+        ),
+    )
+    ingest.add_argument(
+        "directory",
+        help=(
+            "crawl directory: flat *.html pages, optionally with a "
+            "crawl.json ordering manifest (see export-corpus --mixed)"
+        ),
+    )
+    ingest.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help=(
+            "output directory: one sample subdirectory per bundle "
+            "(segment-dir ready) plus the quarantine manifest"
+        ),
+    )
+    ingest.add_argument(
+        "--min-details",
+        type=_worker_count,
+        default=2,
+        help="minimum detail pages per list page",
+    )
+    ingest.add_argument(
+        "--join-threshold",
+        type=_rate,
+        default=0.5,
+        help="fingerprint similarity needed to join a template cluster",
+    )
+    ingest.add_argument(
+        "--merge-threshold",
+        type=_rate,
+        default=0.6,
+        help="cluster similarity at which near-duplicate templates merge",
+    )
+    ingest.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full ingest report as JSON",
+    )
+    _add_obs_flags(ingest)
 
     segment_dir = commands.add_parser(
         "segment-dir",
@@ -679,6 +744,29 @@ def _cmd_export_corpus(args, out) -> int:
 
     from repro.webdoc.store import save_sample
 
+    if args.mixed is not None:
+        if args.sites:
+            print("--mixed and --sites are mutually exclusive", file=out)
+            return 2
+        from repro.sitegen.mixed import (
+            MixedCorpusSpec,
+            build_mixed_corpus,
+            write_crawl,
+        )
+
+        corpus = build_mixed_corpus(
+            MixedCorpusSpec(sites=args.mixed, seed=args.seed)
+        )
+        manifest = write_crawl(corpus, args.directory)
+        print(
+            f"wrote mixed crawl: {corpus.page_count} pages, "
+            f"{len(corpus.sites)} true sites, "
+            f"{len(corpus.distractor_urls)} distractors "
+            f"(truth manifest: {manifest})",
+            file=out,
+        )
+        return 0
+
     names = args.sites or sorted(SITE_BUILDERS)
     root = Path(args.directory)
     for name in names:
@@ -691,6 +779,64 @@ def _cmd_export_corpus(args, out) -> int:
         )
     print(f"wrote {len(names)} sample directories under {root}", file=out)
     return 0
+
+
+def _cmd_ingest(args, out) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.ingest import IngestConfig, ingest_pages, write_bundles
+    from repro.ingest.cluster import ClusterConfig
+    from repro.sitegen.mixed import load_crawl_pages
+
+    try:
+        pages = load_crawl_pages(args.directory)
+    except (OSError, ValueError, json_module.JSONDecodeError) as error:
+        print(f"cannot read crawl directory: {error}", file=out)
+        return 2
+
+    obs = _make_obs(args)
+    config = IngestConfig(
+        cluster=ClusterConfig(
+            join_threshold=args.join_threshold,
+            merge_threshold=args.merge_threshold,
+        ),
+        min_details=args.min_details,
+    )
+    from repro.obs import NULL_OBS
+
+    report = ingest_pages(pages, config, obs=obs or NULL_OBS)
+    manifest = write_bundles(report, args.out)
+
+    if args.json:
+        summary = report.as_dict()
+        summary["out"] = str(Path(args.out))
+        print(json_module.dumps(summary, indent=2), file=out)
+    else:
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in report.quarantine_counts().items()
+        )
+        print(
+            f"ingest: {report.page_count} pages -> "
+            f"{len(report.bundles)} bundles "
+            f"({report.bundled_page_count} pages) in "
+            f"{report.cluster_count} template clusters; "
+            f"{len(report.quarantined)} quarantined"
+            + (f" ({reasons})" if reasons else ""),
+            file=out,
+        )
+        if not report.reconciles():  # pragma: no cover - safety net
+            print("WARNING: page accounting does not reconcile", file=out)
+        print(
+            f"wrote {len(report.bundles)} bundles under {args.out} "
+            f"(manifest: {manifest})",
+            file=out,
+        )
+    _emit_obs(args, obs, out)
+    if not report.reconciles():
+        return 1
+    return 0 if report.bundles else 1
 
 
 def _service_config(args, wrapper_cache_dir=None):
@@ -890,6 +1036,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_export(args, out)
     if args.command == "export-corpus":
         return _cmd_export_corpus(args, out)
+    if args.command == "ingest":
+        return _cmd_ingest(args, out)
     if args.command == "segment-dir":
         return _cmd_segment_dir(args, out)
     if args.command == "serve":

@@ -23,9 +23,15 @@ __all__ = ["ClassifierConfig", "PageClassifier", "page_similarity"]
 
 
 def page_similarity(first: Page, second: Page) -> float:
-    """Jaccard similarity of two pages' token-text sets, in [0, 1]."""
-    tokens_a = {token.text for token in first.tokens()}
-    tokens_b = {token.text for token in second.tokens()}
+    """Jaccard similarity of two pages' token-text sets, in [0, 1].
+
+    The sets come from :meth:`Page.token_text_set`, which tokenizes
+    and builds the set once per page; repeated pairwise calls (the
+    classifier's clustering loop is O(n²) in comparisons) reuse the
+    cached sets instead of re-tokenizing.
+    """
+    tokens_a = first.token_text_set()
+    tokens_b = second.token_text_set()
     if not tokens_a and not tokens_b:
         return 1.0
     union = tokens_a | tokens_b

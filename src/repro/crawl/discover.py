@@ -38,23 +38,46 @@ def extract_links_with_text(html: str) -> list[tuple[str, str]]:
 
     Anchor text is the visible text up to the matching ``</a>``
     (whitespace-normalized).  Unlike
-    :func:`~repro.crawl.crawler.extract_links`, duplicates are kept:
-    the caller may care about each anchor's text separately.
+    :func:`~repro.crawl.crawler.extract_links`, the same href may
+    appear more than once when its anchors carry different texts: the
+    caller may care about each anchor's text separately.  Only exact
+    ``(href, text)`` duplicates are collapsed.
+
+    Real-crawl HTML is messy, so the walk is defensive:
+
+    - a new ``<a>`` before the previous one closed implicitly closes
+      it (its pair is emitted with the text seen so far);
+    - an anchor still open at end of input is emitted, not dropped;
+    - fragment-only (``#…``) and empty hrefs never produce pairs, and
+      neither do anchors whose visible text is empty.
     """
     pairs: list[tuple[str, str]] = []
+    seen: set[tuple[str, str]] = set()
     current_href: str | None = None
     current_text: list[str] = []
+
+    def flush() -> None:
+        nonlocal current_href, current_text
+        if current_href is not None:
+            text = " ".join(" ".join(current_text).split())
+            pair = (current_href, text)
+            if text and pair not in seen:
+                seen.add(pair)
+                pairs.append(pair)
+        current_href = None
+        current_text = []
+
     for event in lex_html(html):
         if event.kind is EventKind.TAG_OPEN and event.data == "a":
+            flush()
             href = event.attrs.get("href", "").strip()
-            current_href = href or None
-            current_text = []
+            if href and not href.startswith("#"):
+                current_href = href
         elif event.kind is EventKind.TAG_CLOSE and event.data == "a":
-            if current_href is not None:
-                pairs.append((current_href, " ".join(" ".join(current_text).split())))
-            current_href = None
+            flush()
         elif event.kind is EventKind.TEXT and current_href is not None:
             current_text.append(event.data)
+    flush()
     return pairs
 
 

@@ -1,0 +1,54 @@
+"""The ingestion front door: from raw crawl to runnable site bundles.
+
+Everything below this package assumes one clean list+detail site; the
+paper's Section 3 vision starts from an arbitrary entry point.  This
+package closes the gap: point :func:`ingest_pages` at a soup of
+crawled pages and it fingerprints every page's template structure
+(:mod:`~repro.ingest.fingerprint`), classifies pages as
+list/detail/other (:mod:`~repro.ingest.classify`), groups them into
+template clusters (:mod:`~repro.ingest.cluster`), and assembles
+(list-chain, detail-cluster) pairs into batch-runner-ready bundles
+with every unassignable page explicitly quarantined
+(:mod:`~repro.ingest.bundle`).
+
+The CLI front end is ``repro ingest CRAWL_DIR --out BUNDLES_DIR``;
+the output feeds straight into ``repro segment-dir BUNDLES_DIR``.
+"""
+
+from repro.ingest.bundle import (
+    INGEST_MANIFEST_NAME,
+    IngestConfig,
+    IngestReport,
+    QuarantinedPage,
+    SiteBundle,
+    ingest_pages,
+    write_bundles,
+)
+from repro.ingest.classify import ClassifyConfig, classify_profile, classify_profiles
+from repro.ingest.cluster import ClusterConfig, TemplateCluster, cluster_profiles
+from repro.ingest.fingerprint import (
+    PageProfile,
+    ShingleSpace,
+    profile_page,
+    profile_pages,
+)
+
+__all__ = [
+    "INGEST_MANIFEST_NAME",
+    "ClassifyConfig",
+    "ClusterConfig",
+    "IngestConfig",
+    "IngestReport",
+    "PageProfile",
+    "QuarantinedPage",
+    "ShingleSpace",
+    "SiteBundle",
+    "TemplateCluster",
+    "classify_profile",
+    "classify_profiles",
+    "cluster_profiles",
+    "ingest_pages",
+    "profile_page",
+    "profile_pages",
+    "write_bundles",
+]

@@ -1,0 +1,82 @@
+"""Page-type classification: list / detail / other.
+
+The paper's Section 3 navigation assumes the system can tell result
+("list") pages from record ("detail") pages from everything else.
+Over an arbitrary crawl that distinction comes from three structural
+signals, all already collected by the fingerprint pass:
+
+* **link fanout** — a list page links out to a screenful of records;
+  a detail page carries only a handful of chrome links; ads and other
+  dead ends often link nowhere.
+* **repeating structure** — a list page renders one row template many
+  times, so most of its structural shingles are repeats.
+* **forms** — a page with a ``<form>`` is a search entry point, not a
+  data page, whatever else it looks like.
+
+The classification is a deterministic *prior*: the bundler
+(:mod:`repro.ingest.bundle`) trusts it only in aggregate (a cluster
+is treated as a list cluster when most members classify as lists) and
+demotes pages the chain/fanout evidence contradicts — a portal page
+classifies as "list" here but never survives bundling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ingest.fingerprint import PageProfile
+
+__all__ = ["ClassifyConfig", "PageKind", "classify_profile", "classify_profiles"]
+
+#: The three page types, as string constants (JSON-friendly).
+PageKind = str
+
+LIST: PageKind = "list"
+DETAIL: PageKind = "detail"
+OTHER: PageKind = "other"
+
+
+@dataclass(frozen=True)
+class ClassifyConfig:
+    """Classification thresholds.
+
+    Attributes:
+        min_list_fanout: minimum distinct outgoing links for a list
+            page.  A results page links to every row's record plus
+            chrome; generated list pages sit well above 10.
+        min_list_repeat: minimum :attr:`PageProfile.repeat_ratio` for
+            a list page.  Row templates repeat, so list pages score
+            0.5+; one-off pages score near 0.
+        max_detail_fanout: maximum fanout for a detail page.  Record
+            pages carry only chrome links (home / search / footer).
+    """
+
+    min_list_fanout: int = 6
+    min_list_repeat: float = 0.25
+    max_detail_fanout: int = 5
+
+
+def classify_profile(
+    profile: PageProfile, config: ClassifyConfig | None = None
+) -> PageKind:
+    """Classify one fingerprinted page as list / detail / other."""
+    config = config or ClassifyConfig()
+    if profile.has_form:
+        return OTHER
+    fanout = profile.link_fanout
+    if (
+        fanout >= config.min_list_fanout
+        and profile.repeat_ratio >= config.min_list_repeat
+    ):
+        return LIST
+    if 1 <= fanout <= config.max_detail_fanout:
+        return DETAIL
+    return OTHER
+
+
+def classify_profiles(
+    profiles: list[PageProfile], config: ClassifyConfig | None = None
+) -> list[PageKind]:
+    """Classify every profile; output parallels the input."""
+    config = config or ClassifyConfig()
+    return [classify_profile(profile, config) for profile in profiles]

@@ -1,0 +1,218 @@
+"""Structural template fingerprints for arbitrary crawled pages.
+
+Two pages generated from one template share almost all of their markup
+*structure* even when their visible text is completely different.  The
+front door exploits that: each page is lexed once (reusing the
+:mod:`repro.webdoc.html` lexer) into a sequence of structural *atoms*
+— tag opens/closes with their class attribute, plus a collapsed symbol
+for every text run — and the atom sequence is shingled into k-grams.
+Two pages from the same template then share most of their shingle
+*sets*, and template grouping becomes set similarity.
+
+Unlike ``crawl/classifier.py``'s pairwise Jaccard over token-text
+sets, fingerprints are built for index-fast comparison: atoms and
+shingles are interned through a corpus-scoped
+:class:`~repro.webdoc.interning.TokenTable` (PR 7's dense-int
+interning), so a page's fingerprint is a sorted tuple of small ints
+and the clusterer (:mod:`repro.ingest.cluster`) can find similar
+pages through an inverted shingle→cluster index instead of comparing
+every pair of pages.
+
+The same single lexer pass also collects the page-level signals the
+classifier (:mod:`repro.ingest.classify`) needs: distinct outgoing
+links in first-occurrence order (= record order on a list page), the
+"Next" link if any, whether the page contains a form, and how
+repetitive the structure is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.webdoc.html import EventKind, lex_html
+from repro.webdoc.interning import TokenTable
+from repro.webdoc.page import Page
+
+__all__ = ["PageProfile", "ShingleSpace", "profile_page", "profile_pages"]
+
+#: Shingle width over the structural atom sequence.  Four atoms is
+#: roughly one "cell" of markup (`<td> <a> T </a>` …): wide enough
+#: that different row layouts produce disjoint shingles, narrow
+#: enough that small per-page variation (pager arrows, ad slots)
+#: moves only a few shingles.
+SHINGLE_K = 4
+
+#: Collapsed atom for any non-whitespace text run: fingerprints are
+#: structural, so all visible text looks the same.
+_TEXT_ATOM = "T"
+
+
+@dataclass(frozen=True)
+class PageProfile:
+    """Everything the front door knows about one page after one lex pass.
+
+    Attributes:
+        url: the page's address (identifier only, never fetched).
+        shingles: sorted distinct shingle ids — the structural
+            fingerprint.  Ids are scoped to the
+            :class:`ShingleSpace` that produced them.
+        shingle_total: total shingle count including repeats; with
+            ``len(shingles)`` this gives the repetition signal.
+        links: distinct outgoing hrefs in first-occurrence order
+            (fragment-only and empty hrefs skipped).  On a list page
+            first-occurrence order is record order.
+        next_url: the href of the first anchor whose text is "Next"
+            (case-insensitive), if any — the paper's pager signal.
+        has_form: whether the page contains a ``<form>`` tag (search
+            entry points, not data pages).
+        text_runs: number of non-whitespace text runs, a cheap size
+            proxy.
+    """
+
+    url: str
+    shingles: tuple[int, ...]
+    shingle_total: int
+    links: tuple[str, ...]
+    next_url: str | None
+    has_form: bool
+    text_runs: int
+
+    @property
+    def link_fanout(self) -> int:
+        """How many distinct pages this one links to."""
+        return len(self.links)
+
+    @property
+    def repeat_ratio(self) -> float:
+        """Fraction of shingles that are repeats, in [0, 1].
+
+        A list page renders one row template N times, so most of its
+        shingles occur N times and the ratio is high; a one-off page
+        repeats almost nothing.
+        """
+        if self.shingle_total == 0:
+            return 0.0
+        return 1.0 - len(self.shingles) / self.shingle_total
+
+
+class ShingleSpace:
+    """Corpus-scoped interning of structural atoms and shingles.
+
+    One space is shared by every page of one ingest run so shingle
+    ids are comparable across pages (the same scoping rule as
+    :class:`~repro.webdoc.interning.TokenTable`, which it reuses for
+    the atom alphabet).  Shingle k-grams — tuples of atom ids — get
+    their own dense ids so a fingerprint is a flat int tuple.
+    """
+
+    __slots__ = ("atoms", "_shingle_ids", "k")
+
+    def __init__(self, k: int = SHINGLE_K) -> None:
+        if k < 1:
+            raise ValueError(f"shingle width must be >= 1, got {k}")
+        self.atoms = TokenTable()
+        self._shingle_ids: dict[tuple[int, ...], int] = {}
+        self.k = k
+
+    def __len__(self) -> int:
+        return len(self._shingle_ids)
+
+    def shingle_id(self, gram: tuple[int, ...]) -> int:
+        """The dense id of an atom-id k-gram, assigning one if new."""
+        table = self._shingle_ids
+        found = table.get(gram)
+        if found is None:
+            found = len(table)
+            table[gram] = found
+        return found
+
+
+def _atom_for_open(event) -> str:
+    """The structural atom of a TAG_OPEN event.
+
+    The ``class`` attribute participates because generated chrome
+    uses classes to mark structure (``<div class="hdr">`` vs a plain
+    ``<div>``); other attribute *values* (hrefs, ids) are per-page
+    noise and are ignored.
+    """
+    cls = event.attrs.get("class")
+    if cls:
+        return f"<{event.data}.{cls}>"
+    return f"<{event.data}>"
+
+
+def profile_page(page: Page, space: ShingleSpace) -> PageProfile:
+    """Fingerprint one page with a single lexer pass."""
+    atom_ids: list[int] = []
+    links: list[str] = []
+    seen_links: set[str] = set()
+    next_url: str | None = None
+    has_form = False
+    text_runs = 0
+
+    current_href: str | None = None
+    current_text: list[str] = []
+    intern = space.atoms.intern
+
+    for event in lex_html(page.html):
+        kind = event.kind
+        if kind is EventKind.TAG_OPEN:
+            atom_ids.append(intern(_atom_for_open(event)))
+            name = event.data
+            if name == "form":
+                has_form = True
+            elif name == "a":
+                current_href = None
+                current_text = []
+                href = event.attrs.get("href", "").strip()
+                if href and not href.startswith("#"):
+                    current_href = href
+                    if href not in seen_links:
+                        seen_links.add(href)
+                        links.append(href)
+        elif kind is EventKind.TAG_CLOSE:
+            atom_ids.append(intern(f"</{event.data}>"))
+            if event.data == "a" and current_href is not None:
+                if next_url is None:
+                    text = " ".join(" ".join(current_text).split())
+                    if text.lower() == "next":
+                        next_url = current_href
+                current_href = None
+        elif kind is EventKind.TEXT:
+            if not event.data.isspace():
+                atom_ids.append(intern(_TEXT_ATOM))
+                text_runs += 1
+                if current_href is not None:
+                    current_text.append(event.data)
+
+    k = space.k
+    if not atom_ids:
+        grams: list[tuple[int, ...]] = []
+    elif len(atom_ids) < k:
+        grams = [tuple(atom_ids)]
+    else:
+        grams = [
+            tuple(atom_ids[i : i + k])
+            for i in range(len(atom_ids) - k + 1)
+        ]
+    shingle_id = space.shingle_id
+    ids = [shingle_id(gram) for gram in grams]
+
+    return PageProfile(
+        url=page.url,
+        shingles=tuple(sorted(set(ids))),
+        shingle_total=len(ids),
+        links=tuple(links),
+        next_url=next_url,
+        has_form=has_form,
+        text_runs=text_runs,
+    )
+
+
+def profile_pages(
+    pages: list[Page], space: ShingleSpace | None = None
+) -> list[PageProfile]:
+    """Fingerprint a crawl: one profile per page, shared shingle space."""
+    if space is None:
+        space = ShingleSpace()
+    return [profile_page(page, space) for page in pages]

@@ -42,6 +42,9 @@ class Page:
     _text_tokens: "list[Token] | None" = field(
         default=None, repr=False, compare=False
     )
+    _token_text_set: "frozenset[str] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def tokens(self) -> "list[Token]":
         """Tokenize the page (cached).
@@ -63,20 +66,36 @@ class Page:
             ]
         return self._text_tokens
 
+    def token_text_set(self) -> "frozenset[str]":
+        """The set of distinct token texts on the page (cached).
+
+        Pairwise page-similarity scoring intersects these sets for
+        every page pair; caching the set here keeps that O(n²) loop
+        from re-tokenizing (and re-building the set for) each page on
+        every call.
+        """
+        if self._token_text_set is None:
+            self._token_text_set = frozenset(
+                token.text for token in self.tokens()
+            )
+        return self._token_text_set
+
     def prime_tokens(self, tokens: "list[Token]") -> None:
         """Install an externally computed token stream.
 
         Used by the batch runner's ``tokenize`` stage to hand a page
-        its cached stream; resets the derived text-token view so it is
+        its cached stream; resets the derived views so they are
         refiltered from the new stream.
         """
         self._tokens = tokens
         self._text_tokens = None
+        self._token_text_set = None
 
     def invalidate_cache(self) -> None:
         """Drop the cached token streams (after mutating ``html``)."""
         self._tokens = None
         self._text_tokens = None
+        self._token_text_set = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         role = f" [{self.kind}]" if self.kind else ""

@@ -110,6 +110,31 @@ class TestClassifier:
         clusters = PageClassifier(ClassifierConfig(similarity_threshold=1.01)).clusters(pages)
         assert len(clusters) == 3
 
+    def test_one_tokenization_pass_per_page(self, monkeypatch):
+        # Regression: the O(n²) clustering loop used to rebuild both
+        # pages' token-text sets on every pairwise call.  Each page
+        # must now be tokenized exactly once, however many comparisons
+        # it participates in.
+        import repro.tokens.tokenizer as tokenizer_module
+
+        site = build_site("ohio")
+        pages = [
+            Page(page.url, page.html)
+            for page in site.detail_pages(0) + [site.fetch("ohio-ad0.html")]
+        ]
+        calls: list[str] = []
+        real_tokenize = tokenizer_module.tokenize_html
+
+        def counting_tokenize(html):
+            calls.append(html)
+            return real_tokenize(html)
+
+        monkeypatch.setattr(
+            tokenizer_module, "tokenize_html", counting_tokenize
+        )
+        PageClassifier().clusters(pages)
+        assert len(calls) == len(pages)
+
 
 class TestCrawler:
     @pytest.mark.parametrize("name", ["ohio", "allegheny", "superpages", "amazon"])

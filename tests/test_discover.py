@@ -38,6 +38,35 @@ class TestLinkText:
         html = '<a href="a.html">x</a><a href="a.html">y</a>'
         assert len(extract_links_with_text(html)) == 2
 
+    def test_exact_duplicate_pairs_collapse(self):
+        html = '<a href="a.html">x</a><a href="a.html">x</a>'
+        assert extract_links_with_text(html) == [("a.html", "x")]
+
+    def test_nested_anchor_implicitly_closes_outer(self):
+        # Broken markup: a second <a> opens before the first closed.
+        # The outer anchor is emitted with the text seen so far, then
+        # the inner anchor is tracked normally.
+        html = '<a href="outer.html">Out <a href="inner.html">In</a>'
+        assert extract_links_with_text(html) == [
+            ("outer.html", "Out"),
+            ("inner.html", "In"),
+        ]
+
+    def test_unclosed_anchor_at_eof_is_emitted(self):
+        html = '<a href="last.html">Last entry'
+        assert extract_links_with_text(html) == [("last.html", "Last entry")]
+
+    def test_fragment_and_empty_hrefs_skipped(self):
+        html = (
+            '<a href="#top">Top</a><a href="">Blank</a>'
+            '<a href="real.html">Real</a>'
+        )
+        assert extract_links_with_text(html) == [("real.html", "Real")]
+
+    def test_empty_text_anchors_skipped(self):
+        html = '<a href="icon.html"></a><a href="real.html">Real</a>'
+        assert extract_links_with_text(html) == [("real.html", "Real")]
+
 
 class TestSiteChrome:
     def test_index_page_exists_with_form(self):

@@ -1,0 +1,174 @@
+"""Tests for the adversarial mixed-corpus sitegen family."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sitegen.mixed import (
+    CRAWL_MANIFEST_NAME,
+    MixedCorpusSpec,
+    build_mixed_corpus,
+    load_crawl_pages,
+    score_bundles,
+    write_crawl,
+)
+from repro.sitegen.site import RowLayout
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_mixed_corpus(MixedCorpusSpec(sites=8, seed=3))
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self, corpus):
+        again = build_mixed_corpus(MixedCorpusSpec(sites=8, seed=3))
+        assert [page.url for page in again.pages] == [
+            page.url for page in corpus.pages
+        ]
+        assert [page.html for page in again.pages] == [
+            page.html for page in corpus.pages
+        ]
+        assert again.sites == corpus.sites
+        assert again.distractor_urls == corpus.distractor_urls
+
+    def test_different_seed_differs(self, corpus):
+        other = build_mixed_corpus(MixedCorpusSpec(sites=8, seed=4))
+        assert [page.html for page in other.pages] != [
+            page.html for page in corpus.pages
+        ]
+
+    def test_pages_carry_no_role_hints(self, corpus):
+        assert all(page.kind is None for page in corpus.pages)
+
+
+class TestInvariants:
+    def test_template_count(self, corpus):
+        # Slot 2 and slot 7 (period 5) carry two templates each.
+        spec = corpus.spec
+        assert spec.expected_site_count() == 10
+        assert len(corpus.sites) == 10
+        names = {site.name for site in corpus.sites}
+        assert {"mix002a", "mix002b", "mix007a", "mix007b"} <= names
+
+    def test_multi_template_slots_use_distinct_layouts(self, corpus):
+        a = corpus.generated["mix002a"].spec
+        b = corpus.generated["mix002b"].spec
+        assert a.layout != b.layout
+        assert {a.layout, b.layout} <= {RowLayout.GRID, RowLayout.FLAT}
+
+    def test_urls_unique(self, corpus):
+        urls = [page.url for page in corpus.pages]
+        assert len(urls) == len(set(urls))
+
+    def test_truth_and_distractors_partition_the_crawl(self, corpus):
+        truth = corpus.truth_urls()
+        assert truth.isdisjoint(corpus.distractor_urls)
+        assert truth | corpus.distractor_urls == {
+            page.url for page in corpus.pages
+        }
+
+    def test_orphan_pages_present_and_distinct(self, corpus):
+        orphan_urls = {
+            f"orphan-{i:03d}.html" for i in range(corpus.spec.orphan_count)
+        }
+        assert orphan_urls <= corpus.distractor_urls
+        orphan_html = [
+            page.html for page in corpus.pages if page.url in orphan_urls
+        ]
+        assert len(orphan_html) == corpus.spec.orphan_count
+        # Structurally unique: no two orphans share their markup.
+        assert len(set(orphan_html)) == len(orphan_html)
+
+    def test_distractor_ratio_floor(self, corpus):
+        assert corpus.distractor_ratio >= 0.25
+
+    def test_portal_pages_for_multi_template_slots(self, corpus):
+        by_url = {page.url: page for page in corpus.pages}
+        portal = by_url["mix002-portal.html"]
+        assert "mix002a-list0.html" in portal.html
+        assert "mix002b-list0.html" in portal.html
+        assert portal.url in corpus.distractor_urls
+
+    def test_score_bundles_against_truth(self, corpus):
+        # Perfect bundles score 1.0/1.0; a polluted bundle loses
+        # precision but not recall.
+        perfect = [
+            (site.name, site.page_urls()) for site in corpus.sites
+        ]
+        score = score_bundles(corpus.sites, perfect)
+        assert score.precision == 1.0 and score.recall == 1.0
+        assert score.exact_bundles == len(corpus.sites)
+        polluted = [
+            (name, urls + ["orphan-000.html"])
+            for name, urls in perfect
+        ]
+        dirty = score_bundles(corpus.sites, polluted)
+        assert dirty.precision < 1.0
+        assert dirty.recall == 1.0
+        assert dirty.exact_bundles == 0
+
+
+class TestCrawlRoundTrip:
+    def test_write_and_load_preserve_order_and_bytes(self, corpus, tmp_path):
+        manifest_path = write_crawl(corpus, tmp_path)
+        assert manifest_path.name == CRAWL_MANIFEST_NAME
+        loaded = load_crawl_pages(tmp_path)
+        assert [page.url for page in loaded] == [
+            page.url for page in corpus.pages
+        ]
+        assert [page.html for page in loaded] == [
+            page.html for page in corpus.pages
+        ]
+
+    def test_manifest_records_truth(self, corpus, tmp_path):
+        manifest_path = write_crawl(corpus, tmp_path)
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["seed"] == corpus.spec.seed
+        assert len(manifest["sites"]) == len(corpus.sites)
+        assert set(manifest["distractors"]) == corpus.distractor_urls
+        assert manifest["pages"] == [page.url for page in corpus.pages]
+
+    def test_load_without_manifest_sorts_by_name(self, corpus, tmp_path):
+        write_crawl(corpus, tmp_path)
+        (tmp_path / CRAWL_MANIFEST_NAME).unlink()
+        loaded = load_crawl_pages(tmp_path)
+        assert [page.url for page in loaded] == sorted(
+            page.url for page in corpus.pages
+        )
+
+    def test_load_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_crawl_pages(tmp_path)
+
+    def test_export_corpus_cli_round_trip(self, tmp_path, capsys):
+        out_dir = tmp_path / "crawl"
+        assert main(
+            ["export-corpus", str(out_dir), "--mixed", "4", "--seed", "3"]
+        ) == 0
+        assert "wrote mixed crawl" in capsys.readouterr().out
+        loaded = load_crawl_pages(out_dir)
+        direct = build_mixed_corpus(MixedCorpusSpec(sites=4, seed=3))
+        assert [page.url for page in loaded] == [
+            page.url for page in direct.pages
+        ]
+        assert [page.html for page in loaded] == [
+            page.html for page in direct.pages
+        ]
+
+    def test_export_corpus_mixed_excludes_sites_flag(self, tmp_path, capsys):
+        code = main(
+            [
+                "export-corpus",
+                str(tmp_path),
+                "--mixed",
+                "2",
+                "--sites",
+                "ohio",
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().out

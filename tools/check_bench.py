@@ -37,6 +37,12 @@ HEADLINES = {
         "query_p50_ms",
         "query_p95_ms",
     ),
+    "BENCH_ingest.json": (
+        "pages",
+        "bundle_precision",
+        "bundle_recall",
+        "ingest_pages_per_s",
+    ),
 }
 
 
