@@ -239,6 +239,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="mixed-crawl generation seed (with --mixed)",
     )
+    export_corpus.add_argument(
+        "--generation",
+        type=int,
+        default=0,
+        metavar="G",
+        help=(
+            "mixed-crawl churn generation (with --mixed): 0 is the "
+            "base corpus, each later generation mutates K detail "
+            "pages, reskins one template and adds/removes a sub-site "
+            "on top of the previous one (untouched pages stay "
+            "byte-identical)"
+        ),
+    )
 
     ingest = commands.add_parser(
         "ingest",
@@ -280,6 +293,64 @@ def build_parser() -> argparse.ArgumentParser:
         type=_rate,
         default=0.6,
         help="cluster similarity at which near-duplicate templates merge",
+    )
+    ingest.add_argument(
+        "--fetch",
+        action="append",
+        metavar="SEED_URL",
+        default=None,
+        help=(
+            "fetch mode: instead of reading every *.html file, walk "
+            "this seed URL through the resilient fetcher (retries, "
+            "budget, circuit breaker) and ingest what the crawl "
+            "reaches; repeatable for multiple seeds"
+        ),
+    )
+    ingest.add_argument(
+        "--max-requests",
+        type=_worker_count,
+        default=None,
+        metavar="N",
+        help="fetch mode: hard crawl budget in fetch requests",
+    )
+    ingest.add_argument(
+        "--snapshot",
+        metavar="DIR",
+        default=None,
+        help=(
+            "fetch mode: also persist the fetched pages plus a "
+            "crawl.json manifest (URL order, fingerprints, crawl "
+            "health) to this directory for replay"
+        ),
+    )
+    ingest.add_argument(
+        "--incremental",
+        action="store_true",
+        help=(
+            "diff page fingerprints against the previous manifest in "
+            "--out and re-ingest only changed/new pages' bundles; "
+            "unchanged bundles carry forward byte-identically (falls "
+            "back to a full ingest when no usable manifest exists)"
+        ),
+    )
+    ingest.add_argument(
+        "--store",
+        metavar="DB",
+        default=None,
+        help=(
+            "incremental mode: sqlite relational store whose rows for "
+            "stale bundles should be removed (cascading, catalog "
+            "recounted)"
+        ),
+    )
+    ingest.add_argument(
+        "--wrapper-cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "incremental mode: wrapper stage-cache root whose cached "
+            "wrappers for stale bundles should be invalidated"
+        ),
     )
     ingest.add_argument(
         "--json",
@@ -755,7 +826,11 @@ def _cmd_export_corpus(args, out) -> int:
         )
 
         corpus = build_mixed_corpus(
-            MixedCorpusSpec(sites=args.mixed, seed=args.seed)
+            MixedCorpusSpec(
+                sites=args.mixed,
+                seed=args.seed,
+                generation=args.generation,
+            )
         )
         manifest = write_crawl(corpus, args.directory)
         print(
@@ -765,6 +840,15 @@ def _cmd_export_corpus(args, out) -> int:
             f"(truth manifest: {manifest})",
             file=out,
         )
+        if corpus.churn is not None:
+            churn = corpus.churn
+            print(
+                f"generation {churn.generation} churn: "
+                f"{len(churn.mutated)} pages mutated, "
+                f"{len(churn.reskinned)} sites reskinned, "
+                f"{len(churn.added)} added, {len(churn.removed)} removed",
+                file=out,
+            )
         return 0
 
     names = args.sites or sorted(SITE_BUILDERS)
@@ -781,21 +865,104 @@ def _cmd_export_corpus(args, out) -> int:
     return 0
 
 
-def _cmd_ingest(args, out) -> int:
-    import json as json_module
-    from pathlib import Path
+def _ingest_load_pages(args, obs, out):
+    """The ingest front half: pages + optional crawl health, or an exit code.
 
-    from repro.ingest import IngestConfig, ingest_pages, write_bundles
-    from repro.ingest.cluster import ClusterConfig
+    Returns ``(pages, crawl_health)`` on success and ``(None, code)``
+    on failure, so :func:`_cmd_ingest` can return the code directly.
+    """
+    import json as json_module
+
+    if args.fetch:
+        from repro.crawl.fetcher import DirectorySite
+        from repro.crawl.resilient import CrawlBudget
+        from repro.ingest import fetch_crawl, write_snapshot
+
+        budget = None
+        if args.max_requests is not None:
+            budget = CrawlBudget(max_requests=args.max_requests)
+        crawl = fetch_crawl(
+            DirectorySite(args.directory),
+            args.fetch,
+            budget=budget,
+            obs=obs,
+        )
+        if not crawl.pages:
+            print(
+                f"fetch mode: no pages reachable from seeds {args.fetch}",
+                file=out,
+            )
+            return None, 2
+        if args.snapshot:
+            snapshot = write_snapshot(crawl, args.snapshot)
+            if not args.json:
+                print(
+                    f"snapshot: {crawl.page_count} pages -> {snapshot}",
+                    file=out,
+                )
+        return crawl.pages, crawl.health.as_dict()
+
     from repro.sitegen.mixed import load_crawl_pages
 
     try:
         pages = load_crawl_pages(args.directory)
     except (OSError, ValueError, json_module.JSONDecodeError) as error:
         print(f"cannot read crawl directory: {error}", file=out)
-        return 2
+        return None, 2
+    return pages, None
+
+
+def _ingest_invalidate(args, stale_bundles, obs, out):
+    """Propagate stale bundles to the store and wrapper cache."""
+    from repro.lifecycle import invalidate_consumers
+    from repro.store import RelationalStore, StoreError
+
+    registry = None
+    if args.wrapper_cache_dir:
+        from repro.runner.cache import StageCache
+        from repro.serve.registry import WrapperRegistry
+
+        registry = WrapperRegistry(
+            cache=StageCache(args.wrapper_cache_dir), obs=obs
+        )
+    try:
+        if args.store:
+            with RelationalStore(args.store, obs=obs) as store:
+                report = invalidate_consumers(
+                    stale_bundles, store=store, registry=registry, obs=obs
+                )
+        else:
+            report = invalidate_consumers(
+                stale_bundles, registry=registry, obs=obs
+            )
+    except StoreError as error:
+        print(f"store error: {error}", file=out)
+        return {"error": str(error)}
+    return report.as_dict()
+
+
+def _cmd_ingest(args, out) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.ingest import (
+        IngestConfig,
+        ingest_pages,
+        load_previous_manifest,
+        reingest_pages,
+        write_bundles,
+        write_reingest,
+    )
+    from repro.ingest.cluster import ClusterConfig
+    from repro.obs import NULL_OBS
 
     obs = _make_obs(args)
+    run_obs = obs or NULL_OBS
+
+    pages, crawl_health = _ingest_load_pages(args, run_obs, out)
+    if pages is None:
+        return crawl_health  # the front half already printed the reason
+
     config = IngestConfig(
         cluster=ClusterConfig(
             join_threshold=args.join_threshold,
@@ -803,14 +970,35 @@ def _cmd_ingest(args, out) -> int:
         ),
         min_details=args.min_details,
     )
-    from repro.obs import NULL_OBS
 
-    report = ingest_pages(pages, config, obs=obs or NULL_OBS)
-    manifest = write_bundles(report, args.out)
+    previous = load_previous_manifest(args.out) if args.incremental else None
+    if previous is not None:
+        report = reingest_pages(pages, previous, config, obs=run_obs)
+        report.crawl_health = crawl_health
+        manifest = write_reingest(report, args.out)
+        bundle_total = report.bundle_count
+        stale_bundles = list(report.stale_bundles)
+    else:
+        if args.incremental and not args.json:
+            print(
+                "incremental: no usable previous manifest in "
+                f"{args.out}; running a full ingest",
+                file=out,
+            )
+        report = ingest_pages(pages, config, obs=run_obs)
+        report.crawl_health = crawl_health
+        manifest = write_bundles(report, args.out)
+        bundle_total = len(report.bundles)
+        stale_bundles = []
+
+    invalidation = None
+    if args.store or args.wrapper_cache_dir:
+        invalidation = _ingest_invalidate(args, stale_bundles, run_obs, out)
 
     if args.json:
         summary = report.as_dict()
         summary["out"] = str(Path(args.out))
+        summary["invalidation"] = invalidation
         print(json_module.dumps(summary, indent=2), file=out)
     else:
         reasons = ", ".join(
@@ -819,24 +1007,44 @@ def _cmd_ingest(args, out) -> int:
         )
         print(
             f"ingest: {report.page_count} pages -> "
-            f"{len(report.bundles)} bundles "
-            f"({report.bundled_page_count} pages) in "
-            f"{report.cluster_count} template clusters; "
+            f"{bundle_total} bundles "
+            f"({report.bundled_page_count} pages); "
             f"{len(report.quarantined)} quarantined"
             + (f" ({reasons})" if reasons else ""),
             file=out,
         )
+        if previous is not None:
+            counts = report.diff.counts()
+            print(
+                "incremental: "
+                f"{counts['unchanged']} unchanged / "
+                f"{counts['changed']} changed / "
+                f"{counts['added']} added / "
+                f"{counts['removed']} removed pages; "
+                f"{len(report.carried)} bundles carried, "
+                f"{len(report.rebuilt)} rebuilt, "
+                f"{len(report.removed_bundles)} removed "
+                f"({report.reprocessed_page_count} pages re-processed)",
+                file=out,
+            )
+        if invalidation is not None and "error" not in invalidation:
+            print(
+                f"invalidated: {invalidation['store_sites_removed']} "
+                f"store sites, {invalidation['wrappers_invalidated']} "
+                "cached wrappers",
+                file=out,
+            )
         if not report.reconciles():  # pragma: no cover - safety net
             print("WARNING: page accounting does not reconcile", file=out)
         print(
-            f"wrote {len(report.bundles)} bundles under {args.out} "
+            f"wrote {bundle_total} bundles under {args.out} "
             f"(manifest: {manifest})",
             file=out,
         )
     _emit_obs(args, obs, out)
     if not report.reconciles():
         return 1
-    return 0 if report.bundles else 1
+    return 0 if bundle_total else 1
 
 
 def _service_config(args, wrapper_cache_dir=None):

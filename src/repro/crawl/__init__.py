@@ -16,7 +16,7 @@ from repro.crawl.discover import (
     extract_links_with_text,
     follow_next_chain,
 )
-from repro.crawl.fetcher import SiteFetcher
+from repro.crawl.fetcher import DirectorySite, SiteFetcher
 from repro.crawl.resilient import (
     CircuitBreaker,
     CrawlBudget,
@@ -33,6 +33,7 @@ __all__ = [
     "CrawlHealth",
     "CrawlResult",
     "Crawler",
+    "DirectorySite",
     "DiscoveredSite",
     "PageClassifier",
     "ResilientFetcher",

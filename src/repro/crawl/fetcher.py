@@ -12,46 +12,143 @@ Transient failures (:class:`~repro.core.exceptions.TransientFetchError`,
 raised by fault-injecting transports) are deliberately *not*
 negative-cached: they are the one failure class where retrying the same
 URL is supposed to succeed.
+
+Permanent failures *are* negative-cached, but no longer forever: a
+re-crawl of a live site must be able to discover that a previously
+dead URL came back.  :meth:`SiteFetcher.reset` clears the negative
+cache explicitly, and ``negative_max_age`` expires each dead entry
+after that many subsequent requests, so long-lived fetchers retry
+eventually even without an explicit reset.
+
+:class:`DirectorySite` rounds the module out as the source used by
+fetch-driven ingestion (``repro ingest --fetch``): it serves a crawl
+snapshot directory exactly like a live site, so the resilient
+retrieval stack (retries, budgets, breakers) exercises the same code
+path whether pages come from a generator or from disk.
 """
 
 from __future__ import annotations
+
+from pathlib import Path as _Path
 
 from repro.core.exceptions import FetchError, TransientFetchError
 from repro.sitegen.site import GeneratedSite
 from repro.webdoc.page import Page
 
-__all__ = ["SiteFetcher"]
+__all__ = ["DirectorySite", "SiteFetcher"]
+
+
+class DirectorySite:
+    """Serve a directory of ``*.html`` pages as a fetchable site.
+
+    The inverse of a crawl snapshot: page URLs are file names inside
+    ``directory``, ``fetch`` reads them back, and anything else —
+    missing files, path traversal, non-HTML names — is a permanent
+    :class:`FetchError`, exactly like a 404 from a live server.
+    """
+
+    def __init__(self, directory: str | _Path) -> None:
+        self.directory = _Path(directory)
+
+    def fetch(self, url: str) -> Page:
+        """Read one page; raises :class:`FetchError` like a dead link."""
+        name = url.strip()
+        if (
+            not name
+            or "/" in name
+            or "\\" in name
+            or name.startswith(".")
+            or not name.endswith(".html")
+        ):
+            raise FetchError(f"directory site does not serve {url!r}")
+        try:
+            html = (self.directory / name).read_text(encoding="utf-8")
+        except OSError as error:
+            raise FetchError(f"no page at {url!r}: {error}") from error
+        return Page(url=name, html=html)
+
+    def urls(self) -> list[str]:
+        """Every servable page name, sorted."""
+        return sorted(
+            path.name
+            for path in self.directory.glob("*.html")
+            if path.is_file()
+        )
 
 
 class SiteFetcher:
     """Fetch pages from a :class:`GeneratedSite` with caching.
 
     Any object with ``fetch(url) -> Page`` works as the source — a
-    :class:`GeneratedSite` or a
+    :class:`GeneratedSite`, a :class:`DirectorySite`, or a
     :class:`~repro.sitegen.faults.FaultyTransport` wrapping one.
+
+    Args:
+        site: the page source.
+        negative_max_age: expire each negative-cache entry after this
+            many *subsequent* requests, so a long-lived fetcher
+            re-tries dead URLs eventually (None = entries live until
+            :meth:`reset`).
     """
 
-    def __init__(self, site: GeneratedSite) -> None:
+    def __init__(
+        self,
+        site: GeneratedSite,
+        negative_max_age: int | None = None,
+    ) -> None:
+        if negative_max_age is not None and negative_max_age < 1:
+            raise ValueError(
+                f"negative_max_age must be >= 1 (or None), got {negative_max_age}"
+            )
         self.site = site
+        self.negative_max_age = negative_max_age
         self.requests = 0  #: fetches actually forwarded to the site
         self.failures = 0  #: dead URLs discovered (each counted once)
         self._cache: dict[str, Page] = {}
-        self._dead: dict[str, str] = {}  #: url -> cached failure message
+        #: url -> (cached failure message, request count at failure)
+        self._dead: dict[str, tuple[str, int]] = {}
+
+    def reset(self) -> int:
+        """Forget every negative-cache entry; returns how many.
+
+        The re-crawl hook: successful pages stay cached (their bytes
+        are still what the fetch returned), but previously dead URLs
+        get a fresh attempt on the next fetch.
+        """
+        dropped = len(self._dead)
+        self._dead.clear()
+        return dropped
+
+    def _dead_message(self, url: str) -> str | None:
+        """The cached failure for ``url``, expiring stale entries."""
+        entry = self._dead.get(url)
+        if entry is None:
+            return None
+        message, stamp = entry
+        if (
+            self.negative_max_age is not None
+            and self.requests - stamp >= self.negative_max_age
+        ):
+            del self._dead[url]
+            return None
+        return message
 
     def fetch(self, url: str) -> Page:
         """Fetch a URL.
 
         A URL that failed permanently before is answered from the
         negative cache without re-requesting it (and without inflating
-        the ``requests``/``failures`` counters again).
+        the ``requests``/``failures`` counters again), until the entry
+        expires (``negative_max_age``) or :meth:`reset` clears it.
 
         Raises:
             FetchError: the site does not serve this URL.
         """
         if url in self._cache:
             return self._cache[url]
-        if url in self._dead:
-            raise FetchError(self._dead[url])
+        message = self._dead_message(url)
+        if message is not None:
+            raise FetchError(message)
         self.requests += 1
         try:
             page = self.site.fetch(url)
@@ -61,7 +158,7 @@ class SiteFetcher:
             raise
         except FetchError as error:
             self.failures += 1
-            self._dead[url] = str(error)
+            self._dead[url] = (str(error), self.requests)
             raise
         self._cache[url] = page
         return page

@@ -13,6 +13,13 @@ with every unassignable page explicitly quarantined
 
 The CLI front end is ``repro ingest CRAWL_DIR --out BUNDLES_DIR``;
 the output feeds straight into ``repro segment-dir BUNDLES_DIR``.
+
+Two lifecycle companions extend the directory-reading path:
+:mod:`~repro.ingest.fetch` walks seed URLs through the resilient
+crawler into a ``crawl.json`` snapshot (``repro ingest --fetch``),
+and :mod:`~repro.ingest.diff` re-ingests only what a fingerprint
+diff against the previous manifest says changed (``--incremental``),
+carrying unchanged bundles forward byte-identically.
 """
 
 from repro.ingest.bundle import (
@@ -22,10 +29,28 @@ from repro.ingest.bundle import (
     QuarantinedPage,
     SiteBundle,
     ingest_pages,
+    page_fingerprint,
     write_bundles,
 )
 from repro.ingest.classify import ClassifyConfig, classify_profile, classify_profiles
 from repro.ingest.cluster import ClusterConfig, TemplateCluster, cluster_profiles
+from repro.ingest.diff import (
+    CrawlDiff,
+    ReingestPlan,
+    ReingestReport,
+    diff_fingerprints,
+    load_previous_manifest,
+    plan_reingest,
+    reingest_pages,
+    write_reingest,
+)
+from repro.ingest.fetch import (
+    CRAWL_SNAPSHOT_NAME,
+    FetchedCrawl,
+    fetch_crawl,
+    load_snapshot,
+    write_snapshot,
+)
 from repro.ingest.fingerprint import (
     PageProfile,
     ShingleSpace,
@@ -34,21 +59,35 @@ from repro.ingest.fingerprint import (
 )
 
 __all__ = [
+    "CRAWL_SNAPSHOT_NAME",
     "INGEST_MANIFEST_NAME",
     "ClassifyConfig",
     "ClusterConfig",
+    "CrawlDiff",
+    "FetchedCrawl",
     "IngestConfig",
     "IngestReport",
     "PageProfile",
     "QuarantinedPage",
+    "ReingestPlan",
+    "ReingestReport",
     "ShingleSpace",
     "SiteBundle",
     "TemplateCluster",
     "classify_profile",
     "classify_profiles",
     "cluster_profiles",
+    "diff_fingerprints",
+    "fetch_crawl",
     "ingest_pages",
+    "load_previous_manifest",
+    "load_snapshot",
+    "page_fingerprint",
+    "plan_reingest",
     "profile_page",
     "profile_pages",
+    "reingest_pages",
     "write_bundles",
+    "write_reingest",
+    "write_snapshot",
 ]

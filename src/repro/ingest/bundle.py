@@ -28,6 +28,7 @@ counters and a quarantine manifest for offline inspection.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -54,6 +55,7 @@ __all__ = [
     "QuarantinedPage",
     "SiteBundle",
     "ingest_pages",
+    "page_fingerprint",
     "write_bundles",
 ]
 
@@ -130,14 +132,36 @@ class QuarantinedPage:
     reason: str
 
 
+def page_fingerprint(html: str) -> str:
+    """Content identity of one page: SHA-256 of its UTF-8 bytes.
+
+    This is the unit of change detection for the whole lifecycle
+    (fetch snapshots, incremental re-ingest, store/wrapper
+    invalidation): a page whose bytes did not change cannot have
+    changed its template, its links or its records, so everything
+    derived from it is still valid.
+    """
+    return hashlib.sha256(html.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class IngestReport:
-    """The full, reconciled outcome of one ingest run."""
+    """The full, reconciled outcome of one ingest run.
+
+    Beyond the page accounting, the report carries the lifecycle
+    context of the run: per-page content fingerprints (so the *next*
+    ingest of the same crawl can diff against this one — see
+    :mod:`repro.ingest.diff`) and, for fetch-driven runs, the
+    :class:`~repro.crawl.resilient.CrawlHealth` in JSON-ready form so
+    a degraded crawl is visible in the manifest instead of silent.
+    """
 
     page_count: int
     cluster_count: int
     bundles: list[SiteBundle]
     quarantined: list[QuarantinedPage]
+    fingerprints: dict[str, str] = field(default_factory=dict)
+    crawl_health: dict | None = None
 
     @property
     def bundled_page_count(self) -> int:
@@ -172,6 +196,7 @@ class IngestReport:
                         len(details)
                         for details in bundle.detail_pages_per_list
                     ],
+                    "pages": bundle.page_urls(),
                 }
                 for bundle in self.bundles
             ],
@@ -179,6 +204,11 @@ class IngestReport:
                 {"url": page.url, "reason": page.reason}
                 for page in self.quarantined
             ],
+            "fingerprints": dict(sorted(self.fingerprints.items())),
+            "crawl_health": self.crawl_health,
+            # Schema stability with incremental runs: a full ingest has
+            # no diff, but the key is always present (see ingest/diff.py).
+            "diff": None,
         }
 
 
@@ -226,6 +256,10 @@ def ingest_pages(
             cluster_count=len(clusters),
             bundles=bundles,
             quarantined=quarantined,
+            fingerprints={
+                page.url: page_fingerprint(page.html)
+                for page in unique_pages
+            },
         )
         run_span.attributes["bundles"] = len(bundles)
         run_span.attributes["quarantined"] = len(quarantined)
@@ -480,6 +514,8 @@ def write_bundles(
         )
     manifest_path = out_dir / INGEST_MANIFEST_NAME
     manifest_path.write_text(
-        json.dumps(report.as_dict(), indent=2), encoding="utf-8"
+        json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+        newline="\n",
     )
     return manifest_path

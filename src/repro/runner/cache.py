@@ -217,6 +217,22 @@ class StageCache:
         if self.max_bytes is not None:
             self._prune(keep=path)
 
+    def delete(self, stage: str, key: str) -> bool:
+        """Drop one entry; True when a file was actually removed.
+
+        The invalidation hook: a consumer that knows an entry is stale
+        (e.g. the wrapper registry after its site's template changed)
+        removes it so no later process warms up from poisoned history.
+        Missing entries are not an error — concurrent deleters race
+        benignly, exactly like :meth:`_prune`.
+        """
+        try:
+            os.unlink(self._path(stage, key))
+        except OSError:
+            return False
+        self.obs.counter("runner.cache.deletes").inc()
+        return True
+
     def _entries(self) -> list[tuple[float, int, Path]]:
         """Every cache entry as ``(mtime, size, path)``, oldest first."""
         entries: list[tuple[float, int, Path]] = []

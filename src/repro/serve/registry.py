@@ -129,15 +129,38 @@ class WrapperRegistry:
                 self.obs.counter("serve.registry.store_errors").inc()
         self.obs.counter("serve.registry.stores").inc()
 
-    def invalidate(self, site_id: str, method: str) -> bool:
-        """Drop the memory entry (the disk tier keeps history).
+    def invalidate(
+        self, site_id: str, method: str, *, disk: bool = False
+    ) -> bool:
+        """Drop the memory entry — and, with ``disk=True``, the disk one.
 
-        Returns whether an entry was present.  Used when drift is
-        detected: the stale wrapper must not serve another request
-        even if re-induction fails.
+        Returns whether any entry (either tier) was dropped.  Two
+        callers, two needs:
+
+        * drift detection passes the default ``disk=False``: the stale
+          wrapper must not serve another request even if re-induction
+          fails, but the disk history is still the best warm-up a
+          restarted server has;
+        * lifecycle invalidation (the site's *template* changed
+          upstream, see :mod:`repro.lifecycle`) passes ``disk=True``:
+          a wrapper induced from a dead template must not resurrect in
+          any process, so the disk entry is deleted too (booked as
+          ``serve.registry.disk_invalidations``).
         """
         with self._lock:
             present = self._wrappers.pop((site_id, method), None) is not None
         if present:
             self.obs.counter("serve.registry.invalidations").inc()
-        return present
+        dropped_disk = False
+        if disk and self.cache is not None:
+            delete = getattr(self.cache, "delete", None)
+            if delete is not None:
+                try:
+                    dropped_disk = bool(
+                        delete(WRAPPER_STAGE, self._key(site_id, method))
+                    )
+                except OSError:
+                    self.obs.counter("serve.registry.store_errors").inc()
+            if dropped_disk:
+                self.obs.counter("serve.registry.disk_invalidations").inc()
+        return present or dropped_disk

@@ -21,11 +21,29 @@ Everything is generated from one integer seed and the output is
 byte-identical across runs; the ground truth (which pages belong to
 which sub-site, which are distractors) rides along so ingestion
 precision/recall can be scored exactly.
+
+**Generations.**  Real sites change between crawls, so a spec can
+also carry ``generation=G``: generation 0 is the base corpus, and
+each later generation applies one seeded churn step on top of the
+previous one — ``churn_removed`` sub-sites vanish, ``churn_reskins``
+sub-sites are re-rendered from a *different* template (every page's
+bytes change, the URL set mostly survives), ``churn_added`` new
+sub-sites appear, and ``churn_mutations`` detail pages get an
+in-place content edit (one appended paragraph; the template, and
+therefore the page's cluster, survives).  Pages untouched by churn
+are **byte-identical** across generations — the invariant the
+fingerprint-diff re-ingest path (:mod:`repro.ingest.diff`) is
+benchmarked against — and distractor pages never churn (portal link
+targets are pinned to the generation-0 membership, so a portal may
+dangle at a removed site exactly like a stale link on the live web).
+The last generation's churn rides along as ground truth
+(:class:`GenerationChurn`).
 """
 
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -44,6 +62,7 @@ from repro.webdoc.page import Page
 __all__ = [
     "CRAWL_MANIFEST_NAME",
     "BundleScore",
+    "GenerationChurn",
     "MixedCorpus",
     "MixedCorpusSpec",
     "TrueSite",
@@ -54,6 +73,10 @@ __all__ = [
 ]
 
 CRAWL_MANIFEST_NAME = "crawl.json"
+
+#: Plain single-template slot names (``mix007``); only these churn,
+#: so multi-template slots and their stitched portals stay stable.
+_PLAIN_SITE = re.compile(r"^mix\d+$")
 
 #: The template rotation: (domain, schema factory, detail extras,
 #: post-process hook, row layout).  Layouts alternate grid/free-form
@@ -101,6 +124,12 @@ class MixedCorpusSpec:
             standalone distractor counts; ``None`` scales each with
             ``sites`` so the default mix stays above one distractor
             page in four.
+        generation: how many seeded churn steps to apply on top of
+            the base corpus (0 = the base; see the module docstring).
+        churn_mutations / churn_reskins / churn_added /
+        churn_removed: per-generation churn sizes — detail pages
+            edited in place, sub-sites re-templated, sub-sites added,
+            sub-sites removed.
     """
 
     sites: int = 40
@@ -111,6 +140,11 @@ class MixedCorpusSpec:
     form_pages: int | None = None
     portal_pages: int | None = None
     ad_farm_pages: int | None = None
+    generation: int = 0
+    churn_mutations: int = 6
+    churn_reskins: int = 1
+    churn_added: int = 1
+    churn_removed: int = 1
 
     @property
     def orphan_count(self) -> int:
@@ -162,6 +196,32 @@ class TrueSite:
         return urls
 
 
+@dataclass(frozen=True)
+class GenerationChurn:
+    """Ground truth of one generation step (the *last* one applied).
+
+    URLs/names are relative to the previous generation: ``mutated``
+    pages exist in both with different bytes, ``reskinned`` sites
+    exist in both with every page's bytes changed, ``added`` /
+    ``removed`` sites exist only after / only before.
+    """
+
+    generation: int
+    mutated: tuple[str, ...]  #: detail URLs edited in place
+    reskinned: tuple[str, ...]  #: site names re-rendered from a new template
+    added: tuple[str, ...]  #: new sub-site names
+    removed: tuple[str, ...]  #: dropped sub-site names
+
+    def as_dict(self) -> dict:
+        return {
+            "generation": self.generation,
+            "mutated": list(self.mutated),
+            "reskinned": list(self.reskinned),
+            "added": list(self.added),
+            "removed": list(self.removed),
+        }
+
+
 @dataclass
 class MixedCorpus:
     """One generated crawl plus its ground truth.
@@ -170,7 +230,8 @@ class MixedCorpus:
     shuffled order with ``kind=None``, exactly as anonymous as a real
     crawl.  ``generated`` keeps the underlying :class:`GeneratedSite`
     objects so tests can run the clean single-site path against the
-    same sub-sites.
+    same sub-sites.  ``churn`` records the last generation step
+    applied (None for generation 0).
     """
 
     spec: MixedCorpusSpec
@@ -178,6 +239,7 @@ class MixedCorpus:
     sites: list[TrueSite]
     distractor_urls: frozenset[str]
     generated: dict[str, GeneratedSite]
+    churn: GenerationChurn | None = None
 
     @property
     def page_count(self) -> int:
@@ -294,13 +356,31 @@ def _ad_farm_page(index: int, seed: int) -> Page:
     return Page(url=f"adfarm-{index:03d}.html", html=builder.build())
 
 
+def _truth_of(site: GeneratedSite) -> TrueSite:
+    """The ground-truth membership of one generated sub-site."""
+    return TrueSite(
+        name=site.spec.name,
+        list_urls=tuple(page.url for page in site.list_pages),
+        detail_urls_per_list=tuple(
+            tuple(page.url for page in site.detail_pages(i))
+            for i in range(len(site.list_pages))
+        ),
+    )
+
+
 def build_mixed_corpus(spec: MixedCorpusSpec | None = None) -> MixedCorpus:
-    """Generate the crawl.  Deterministic: one seed, one byte stream."""
+    """Generate the crawl.  Deterministic: one seed, one byte stream.
+
+    With ``spec.generation > 0`` the base corpus is churned that many
+    times (see the module docstring); every page not named by the
+    churn is byte-identical to its previous-generation self.
+    """
     spec = spec or MixedCorpusSpec()
     by_url: dict[str, str] = {}
     sites: list[TrueSite] = []
     distractors: set[str] = set()
     generated: dict[str, GeneratedSite] = {}
+    variant_of: dict[str, int] = {}
 
     def add_page(url: str, html: str, distractor: bool) -> None:
         if url in by_url:
@@ -308,6 +388,23 @@ def build_mixed_corpus(spec: MixedCorpusSpec | None = None) -> MixedCorpus:
         by_url[url] = html
         if distractor:
             distractors.add(url)
+
+    def add_site(site: GeneratedSite) -> TrueSite:
+        name = site.spec.name
+        generated[name] = site
+        truth = _truth_of(site)
+        sites.append(truth)
+        truth_urls = set(truth.page_urls())
+        for url in site.urls():
+            add_page(url, site.fetch(url).html, url not in truth_urls)
+        return truth
+
+    def drop_site(name: str) -> None:
+        site = generated.pop(name)
+        for url in site.urls():
+            by_url.pop(url, None)
+            distractors.discard(url)
+        sites[:] = [truth for truth in sites if truth.name != name]
 
     variant_cursor = 0
     for slot in range(spec.sites):
@@ -321,21 +418,10 @@ def build_mixed_corpus(spec: MixedCorpusSpec | None = None) -> MixedCorpus:
                 records=spec.records,
                 seed=spec.seed * 1000003 + slot * 31 + len(slot_sites),
             )
+            variant_of[name] = variant_cursor
             variant_cursor += 1
             slot_sites.append(site)
-            generated[name] = site
-            truth = TrueSite(
-                name=name,
-                list_urls=tuple(page.url for page in site.list_pages),
-                detail_urls_per_list=tuple(
-                    tuple(page.url for page in site.detail_pages(i))
-                    for i in range(len(site.list_pages))
-                ),
-            )
-            sites.append(truth)
-            truth_urls = set(truth.page_urls())
-            for url in site.urls():
-                add_page(url, site.fetch(url).html, url not in truth_urls)
+            add_site(site)
         if len(slot_sites) > 1:
             # A portal stitching the slot's sub-sites together: the
             # "one site, several templates" entry page.
@@ -355,6 +441,93 @@ def build_mixed_corpus(spec: MixedCorpusSpec | None = None) -> MixedCorpus:
             )
             add_page(portal.url, portal.html, True)
 
+    # Portal link targets are pinned to the generation-0 membership
+    # *before* churn: distractor pages never change across
+    # generations, even when a target site has since been removed
+    # (a dangling portal link, like the live web's stale directories).
+    base_list0_urls = [site.list_urls[0] for site in sites]
+
+    churn: GenerationChurn | None = None
+    for gen in range(1, spec.generation + 1):
+        rng = SiteRng(spec.seed).fork(f"generation-{gen}")
+        plain = sorted(
+            truth.name for truth in sites if _PLAIN_SITE.match(truth.name)
+        )
+
+        removed: list[str] = []
+        for _ in range(min(spec.churn_removed, max(0, len(plain) - 2))):
+            name = rng.pick(plain)
+            plain.remove(name)
+            removed.append(name)
+            drop_site(name)
+
+        reskinned: list[str] = []
+        for _ in range(min(spec.churn_reskins, len(plain))):
+            name = rng.pick(plain)
+            plain.remove(name)
+            reskinned.append(name)
+            drop_site(name)
+            # A different variant index is a different template *and*
+            # a different row layout (the rotation alternates
+            # grid/flat), so every page's bytes change.
+            variant = variant_of[name] + 1 + rng.randint(0, len(_VARIANTS) - 2)
+            variant_of[name] = variant
+            add_site(
+                _sub_site(
+                    name,
+                    variant_index=variant,
+                    label_index=rng.randint(0, 5),
+                    records=spec.records,
+                    seed=spec.seed * 1000003 + 999331 * gen + rng.randint(0, 997),
+                )
+            )
+
+        added: list[str] = []
+        for index in range(spec.churn_added):
+            name = f"gen{gen}site{index}"
+            added.append(name)
+            variant = rng.randint(0, len(_VARIANTS) - 1)
+            variant_of[name] = variant
+            add_site(
+                _sub_site(
+                    name,
+                    variant_index=variant,
+                    label_index=rng.randint(0, 5),
+                    records=spec.records,
+                    seed=spec.seed * 1000003 + 15485863 * gen + index,
+                )
+            )
+
+        frozen = set(reskinned) | set(added)
+        eligible = sorted(
+            url
+            for truth in sites
+            if truth.name not in frozen
+            for details in truth.detail_urls_per_list
+            for url in details
+        )
+        mutated = rng.sample(
+            eligible, min(spec.churn_mutations, len(eligible))
+        )
+        for url in mutated:
+            marker = (
+                f'<p class="updated">Record updated: generation {gen}, '
+                f"rev {rng.randint(1000, 9999)}.</p>"
+            )
+            html = by_url[url]
+            if "</body>" in html:
+                by_url[url] = html.replace("</body>", marker + "</body>", 1)
+            else:  # pragma: no cover - every template closes its body
+                by_url[url] = html + marker
+
+        churn = GenerationChurn(
+            generation=gen,
+            mutated=tuple(sorted(mutated)),
+            reskinned=tuple(sorted(reskinned)),
+            added=tuple(sorted(added)),
+            removed=tuple(sorted(removed)),
+        )
+
     for index in range(spec.orphan_count):
         page = _orphan_page(index, spec.seed)
         add_page(page.url, page.html, True)
@@ -366,7 +539,7 @@ def build_mixed_corpus(spec: MixedCorpusSpec | None = None) -> MixedCorpus:
         add_page(page.url, page.html, True)
 
     portal_rng = SiteRng(spec.seed * 2971 + 17)
-    list0_urls = [site.list_urls[0] for site in sites]
+    list0_urls = base_list0_urls
     for index in range(spec.portal_page_count):
         targets = portal_rng.sample(list0_urls, min(8, len(list0_urls)))
         targets += [
@@ -391,6 +564,7 @@ def build_mixed_corpus(spec: MixedCorpusSpec | None = None) -> MixedCorpus:
         sites=sites,
         distractor_urls=frozenset(distractors),
         generated=generated,
+        churn=churn,
     )
 
 
@@ -407,6 +581,8 @@ def write_crawl(corpus: MixedCorpus, directory: str | Path) -> Path:
         (directory / page.url).write_text(page.html, encoding="utf-8")
     manifest = {
         "seed": corpus.spec.seed,
+        "generation": corpus.spec.generation,
+        "churn": corpus.churn.as_dict() if corpus.churn else None,
         "pages": [page.url for page in corpus.pages],
         "distractors": sorted(corpus.distractor_urls),
         "sites": [
@@ -420,7 +596,7 @@ def write_crawl(corpus: MixedCorpus, directory: str | Path) -> Path:
     }
     manifest_path = directory / CRAWL_MANIFEST_NAME
     manifest_path.write_text(
-        json.dumps(manifest, indent=2), encoding="utf-8"
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8", newline="\n"
     )
     return manifest_path
 

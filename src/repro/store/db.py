@@ -220,6 +220,60 @@ class RelationalStore:
             else:
                 self._conn.execute("COMMIT")
 
+    # -- removal -------------------------------------------------------------
+
+    def remove_site(
+        self, site_id: str, method: str | None = None
+    ) -> dict[str, int]:
+        """Drop one site's rows — cascading, in one transaction.
+
+        Deletes the site's ``cells``, ``site_columns`` and ``sites``
+        rows (for one ``method``, or every method when None), then
+        recounts the attribute catalog: attributes no longer
+        referenced by any surviving column are pruned, so the catalog
+        never advertises labels whose every source is gone.
+
+        Removing a site that was never ingested is a no-op, not an
+        error — re-ingest drivers call this for every stale bundle
+        without checking first.  Returns the per-table delete counts
+        (``sites`` / ``columns`` / ``cells`` / ``attributes``), also
+        booked as ``store.remove.*`` counters.
+
+        Raises:
+            StoreError: on any sqlite failure (rolled back).
+        """
+        where = "site_id = ?"
+        params: tuple[Any, ...] = (site_id,)
+        if method is not None:
+            where += " AND method = ?"
+            params = (site_id, method)
+        with self.obs.span("store.remove", site=site_id) as span:
+            with self.transaction() as conn:
+                cells = conn.execute(
+                    f"DELETE FROM cells WHERE {where}", params
+                ).rowcount
+                columns = conn.execute(
+                    f"DELETE FROM site_columns WHERE {where}", params
+                ).rowcount
+                sites = conn.execute(
+                    f"DELETE FROM sites WHERE {where}", params
+                ).rowcount
+                attributes = conn.execute(
+                    "DELETE FROM attributes WHERE attribute_id NOT IN"
+                    " (SELECT DISTINCT attribute_id FROM site_columns)"
+                ).rowcount
+            removed = {
+                "sites": sites,
+                "columns": columns,
+                "cells": cells,
+                "attributes": attributes,
+            }
+            span.attributes.update(removed)
+        for name, count in removed.items():
+            if count:
+                self.obs.counter(f"store.remove.{name}").inc(count)
+        return removed
+
     # -- facts ---------------------------------------------------------------
 
     def counts(self) -> dict[str, int]:

@@ -67,6 +67,40 @@ class TestFetcher:
         page = fetcher.fetch(url)
         assert fetcher.cached(url) is page
 
+    def test_reset_clears_negative_cache(self):
+        site = build_site("ohio")
+        fetcher = SiteFetcher(site)
+        assert fetcher.try_fetch("missing.html") is None
+        assert fetcher.try_fetch("gone.html") is None
+        assert fetcher.reset() == 2
+        assert fetcher.dead_urls == frozenset()
+        # The next fetch of a previously dead URL hits the site again.
+        assert fetcher.try_fetch("missing.html") is None
+        assert fetcher.requests == 3
+        # Positive cache survives the reset.
+        url = site.truth[0].rows[0].detail_url
+        page = fetcher.fetch(url)
+        fetcher.reset()
+        assert fetcher.cached(url) is page
+
+    def test_negative_max_age_expires_entries(self):
+        site = build_site("ohio")
+        fetcher = SiteFetcher(site, negative_max_age=2)
+        assert fetcher.try_fetch("missing.html") is None
+        assert fetcher.requests == 1
+        # Still within the age window: answered from the cache.
+        assert fetcher.try_fetch("missing.html") is None
+        assert fetcher.requests == 1
+        # Two live requests later the entry expires and is re-tried.
+        fetcher.fetch(site.truth[0].rows[0].detail_url)
+        fetcher.fetch(site.truth[0].rows[1].detail_url)
+        assert fetcher.try_fetch("missing.html") is None
+        assert fetcher.requests == 4
+
+    def test_negative_max_age_validated(self):
+        with pytest.raises(ValueError):
+            SiteFetcher(build_site("ohio"), negative_max_age=0)
+
 
 class TestClassifier:
     def test_same_template_pages_similar(self):

@@ -172,3 +172,107 @@ class TestCrawlRoundTrip:
         )
         assert code == 2
         assert "mutually exclusive" in capsys.readouterr().out
+
+
+class TestGenerations:
+    @pytest.fixture(scope="class")
+    def gen0(self):
+        return build_mixed_corpus(MixedCorpusSpec(sites=8, seed=3))
+
+    @pytest.fixture(scope="class")
+    def gen1(self):
+        return build_mixed_corpus(
+            MixedCorpusSpec(sites=8, seed=3, generation=1)
+        )
+
+    def test_generation_zero_unaffected(self, corpus, gen0):
+        # generation=0 (the default) must be byte-identical to the
+        # pre-lifecycle corpus: churn may never perturb the base.
+        assert [p.url for p in gen0.pages] == [p.url for p in corpus.pages]
+        assert [p.html for p in gen0.pages] == [
+            p.html for p in corpus.pages
+        ]
+        assert gen0.churn is None
+
+    def test_churn_recorded(self, gen1):
+        churn = gen1.churn
+        assert churn is not None
+        assert churn.generation == 1
+        assert len(churn.mutated) > 0
+        assert len(churn.reskinned) == 1
+        assert len(churn.added) == 1
+        assert len(churn.removed) == 1
+        # Removed and reskinned sites are disjoint sets of plain slots.
+        assert not set(churn.removed) & set(churn.reskinned)
+
+    def test_unchanged_pages_byte_identical(self, gen0, gen1):
+        before = {p.url: p.html for p in gen0.pages}
+        after = {p.url: p.html for p in gen1.pages}
+        churn = gen1.churn
+        touched = set(churn.mutated)
+        for name in churn.reskinned + churn.added + churn.removed:
+            touched |= {
+                url for url in set(before) | set(after)
+                if url.startswith(f"{name}-")
+            }
+        shared = set(before) & set(after)
+        for url in shared - touched:
+            assert before[url] == after[url], url
+
+    def test_mutated_pages_differ(self, gen0, gen1):
+        before = {p.url: p.html for p in gen0.pages}
+        after = {p.url: p.html for p in gen1.pages}
+        for url in gen1.churn.mutated:
+            assert url in before and url in after
+            assert before[url] != after[url]
+            assert "Record updated: generation 1" in after[url]
+
+    def test_generations_deterministic(self, gen1):
+        again = build_mixed_corpus(
+            MixedCorpusSpec(sites=8, seed=3, generation=1)
+        )
+        assert [p.url for p in again.pages] == [p.url for p in gen1.pages]
+        assert [p.html for p in again.pages] == [
+            p.html for p in gen1.pages
+        ]
+        assert again.churn == gen1.churn
+
+    def test_reskinned_site_changes_template(self, gen0, gen1):
+        (name,) = gen1.churn.reskinned
+        before = gen0.generated[name].spec
+        after = gen1.generated[name].spec
+        # A reskin picks a different variant: domain and layout pair
+        # changes, so every page of the site renders differently.
+        assert (before.domain, before.layout) != (
+            after.domain,
+            after.layout,
+        )
+        before_pages = {
+            p.url: p.html
+            for p in gen0.pages
+            if p.url.startswith(f"{name}-")
+        }
+        after_pages = {
+            p.url: p.html
+            for p in gen1.pages
+            if p.url.startswith(f"{name}-")
+        }
+        # Every templated page re-renders (the slot index page is
+        # chrome-only and may survive a reskin byte-identically).
+        for url in set(before_pages) & set(after_pages):
+            if "-list" in url or "-detail" in url:
+                assert before_pages[url] != after_pages[url], url
+
+    def test_manifest_records_generation_and_churn(self, gen1, tmp_path):
+        manifest = write_crawl(gen1, tmp_path / "crawl")
+        data = json.loads(manifest.read_text(encoding="utf-8"))
+        assert data["generation"] == 1
+        assert data["churn"]["generation"] == 1
+        assert data["churn"]["mutated"] == list(gen1.churn.mutated)
+
+    def test_truth_tracks_churn(self, gen1):
+        names = {site.name for site in gen1.sites}
+        for name in gen1.churn.removed:
+            assert name not in names
+        for name in gen1.churn.added:
+            assert name in names

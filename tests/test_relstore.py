@@ -507,3 +507,56 @@ class TestServePath:
         service.store.close()  # simulate a store failing mid-flight
         response = service.segment(ohio_payload)
         assert response["record_count"] > 0
+
+
+class TestRemoveSite:
+    def test_remove_then_query_returns_nothing(self, store):
+        ingest_pages(store, "jail", "prob", INMATES)
+        ingest_pages(store, "county", "prob", PARCELS)
+        removed = store.remove_site("jail")
+        # All three jail attributes orphan: county's "Owner Name" is a
+        # distinct catalog attribute that only word-matches "Name".
+        assert removed == {
+            "sites": 1,
+            "columns": 3,
+            "cells": 6,
+            "attributes": 3,
+        }
+        result = query_store(store, "charge")
+        assert result.tables == []
+        assert result.rows == []
+        # The untouched site still answers.
+        result = query_store(store, "owner")
+        assert [hit.site_id for hit in result.tables] == ["county"]
+
+    def test_remove_prunes_only_orphaned_attributes(self, store):
+        ingest_pages(store, "jail", "prob", INMATES)
+        ingest_pages(store, "county", "prob", PARCELS)
+        store.remove_site("jail")
+        catalog = {
+            row[0]
+            for row in store.execute("SELECT canonical FROM attributes")
+        }
+        assert catalog.isdisjoint({"name", "charge", "bail"})
+        assert {"parcel id", "owner name", "value"} <= catalog
+
+    def test_remove_nonexistent_is_noop(self, store):
+        ingest_pages(store, "jail", "prob", INMATES)
+        before = store.counts()
+        removed = store.remove_site("never-ingested")
+        assert removed == {
+            "sites": 0,
+            "columns": 0,
+            "cells": 0,
+            "attributes": 0,
+        }
+        assert store.counts() == before
+
+    def test_remove_single_method_keeps_other_methods(self, store):
+        ingest_pages(store, "jail", "prob", INMATES)
+        ingest_pages(store, "jail", "csp", INMATES)
+        removed = store.remove_site("jail", method="prob")
+        assert removed["sites"] == 1
+        assert removed["attributes"] == 0  # csp columns still reference them
+        (site,) = store.sites()
+        assert site["method"] == "csp"

@@ -43,6 +43,12 @@ HEADLINES = {
         "bundle_recall",
         "ingest_pages_per_s",
     ),
+    "BENCH_reingest.json": (
+        "pages",
+        "churn_ratio",
+        "reprocess_ratio",
+        "reingest_speedup",
+    ),
 }
 
 
